@@ -1,0 +1,233 @@
+package cellmg
+
+// This file is the benchmark harness required by DESIGN.md: one testing.B
+// benchmark per table and figure of the paper's evaluation, plus the
+// ablations and the native-runtime counterparts. Each benchmark runs the
+// corresponding experiment from internal/experiments (in its quick
+// configuration, so `go test -bench=.` finishes in minutes) and exports the
+// headline quantities of that table/figure as custom benchmark metrics, so a
+// single benchmark run reproduces the paper's evaluation end to end:
+//
+//	go test -bench=. -benchmem
+//
+// The full-size sweeps (and the markdown report backing EXPERIMENTS.md) are
+// produced by `go run ./cmd/experiments`.
+
+import (
+	"testing"
+
+	"cellmg/internal/experiments"
+	"cellmg/internal/native"
+	"cellmg/internal/phylo"
+	"cellmg/internal/sched"
+	"cellmg/internal/workload"
+)
+
+var quickCfg = experiments.Config{Quick: true}
+
+// reportSeries exports the Y value at the given X of the named series as a
+// benchmark metric.
+func reportSeries(b *testing.B, rep experiments.Report, series string, x float64, metric string) {
+	b.Helper()
+	for _, s := range rep.Series {
+		if s.Name == series {
+			if y, ok := s.Y(x); ok {
+				b.ReportMetric(y, metric)
+			}
+			return
+		}
+	}
+}
+
+func requireClaims(b *testing.B, rep experiments.Report) {
+	b.Helper()
+	for _, c := range rep.Claims {
+		if !c.Pass {
+			b.Errorf("%s: %s", rep.ID, c)
+		}
+	}
+}
+
+// BenchmarkE1_SPEOptimization regenerates the Section 5.1 numbers
+// (PPE-only 38.23 s, naive off-load 50.38 s, optimized off-load 28.82 s).
+func BenchmarkE1_SPEOptimization(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.SPEOptimization(quickCfg)
+	}
+	requireClaims(b, rep)
+}
+
+// BenchmarkTable1_EDTLPvsLinux regenerates Table 1 (EDTLP vs the Linux
+// scheduler, 1-8 workers) and reports the 8-worker times.
+func BenchmarkTable1_EDTLPvsLinux(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Table1(quickCfg)
+	}
+	requireClaims(b, rep)
+	reportSeries(b, rep, "EDTLP", 8, "edtlp8_paper_s")
+	reportSeries(b, rep, "Linux", 8, "linux8_paper_s")
+}
+
+// BenchmarkTable2_LLPScaling regenerates Table 2 (loop-level parallelism
+// across 1-8 SPEs for one bootstrap) and reports the 4-SPE point.
+func BenchmarkTable2_LLPScaling(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Table2(quickCfg)
+	}
+	requireClaims(b, rep)
+	reportSeries(b, rep, "LLP", 1, "llp1_paper_s")
+	reportSeries(b, rep, "LLP", 4, "llp4_paper_s")
+}
+
+// BenchmarkFigure7_StaticHybrid regenerates Figure 7 (static EDTLP-LLP vs
+// EDTLP over the bootstrap sweep).
+func BenchmarkFigure7_StaticHybrid(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Figure7(quickCfg)
+	}
+	requireClaims(b, rep)
+	reportSeries(b, rep, "EDTLP", 4, "edtlp4_paper_s")
+	reportSeries(b, rep, "EDTLP-LLP(4)", 4, "hybrid4_paper_s")
+}
+
+// BenchmarkFigure8_MGPS regenerates Figure 8 (MGPS vs the static schemes).
+func BenchmarkFigure8_MGPS(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Figure8(quickCfg)
+	}
+	requireClaims(b, rep)
+	reportSeries(b, rep, "MGPS", 2, "mgps2_paper_s")
+	reportSeries(b, rep, "MGPS", 16, "mgps16_paper_s")
+}
+
+// BenchmarkFigure9_TwoCells regenerates Figure 9 (the same comparison on a
+// dual-Cell blade).
+func BenchmarkFigure9_TwoCells(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Figure9(quickCfg)
+	}
+	requireClaims(b, rep)
+	reportSeries(b, rep, "MGPS", 8, "mgps8_twocells_paper_s")
+}
+
+// BenchmarkFigure10_CrossPlatform regenerates Figure 10 (Cell vs Xeon vs
+// Power5).
+func BenchmarkFigure10_CrossPlatform(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Figure10(quickCfg)
+	}
+	requireClaims(b, rep)
+	reportSeries(b, rep, "Cell (MGPS)", 16, "cell16_paper_s")
+	reportSeries(b, rep, "IBM Power5", 16, "power5_16_paper_s")
+	reportSeries(b, rep, "2x Intel Xeon (HT)", 16, "xeon16_paper_s")
+}
+
+// BenchmarkAblation_SwitchCostQuantum sweeps the context-switch cost and the
+// kernel quantum (experiment E8).
+func BenchmarkAblation_SwitchCostQuantum(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.AblationSwitchCostQuantum(quickCfg)
+	}
+	requireClaims(b, rep)
+}
+
+// BenchmarkAblation_MGPSWindow sweeps the MGPS adaptation window and U
+// threshold (experiment E9).
+func BenchmarkAblation_MGPSWindow(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.AblationMGPSWindow(quickCfg)
+	}
+	requireClaims(b, rep)
+}
+
+// BenchmarkAblation_ScaleInvariance verifies that the workload-scaling knob
+// does not change the headline ratios (experiment E10 support).
+func BenchmarkAblation_ScaleInvariance(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.AblationScaleInvariance(quickCfg)
+	}
+	requireClaims(b, rep)
+}
+
+// --- Simulator micro-benchmarks -------------------------------------------
+
+// BenchmarkSimulatorEDTLP8 measures the cost of simulating one full Table 1
+// data point (8 workers under EDTLP) — the unit of work every sweep above is
+// built from.
+func BenchmarkSimulatorEDTLP8(b *testing.B) {
+	cfg := workload.RAxML42SC()
+	cfg.CallsPerBootstrap = 150
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sched.RunEDTLP(sched.Options{Workload: cfg, Bootstraps: 8})
+	}
+}
+
+// BenchmarkSimulatorMGPS128 measures the largest single simulation of the
+// figure sweeps (128 bootstraps under MGPS).
+func BenchmarkSimulatorMGPS128(b *testing.B) {
+	cfg := workload.RAxML42SC()
+	cfg.CallsPerBootstrap = 60
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sched.RunMGPS(sched.Options{Workload: cfg, Bootstraps: 128})
+	}
+}
+
+// --- Native runtime benchmarks (experiment E10) ---------------------------
+
+func nativeAnalysisData(b *testing.B) *phylo.PatternAlignment {
+	b.Helper()
+	_, aln, err := phylo.Simulate(phylo.SimulateOptions{Taxa: 10, Length: 500, Seed: 77, MeanBranchLength: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := phylo.Compress(aln)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+func benchNative(b *testing.B, policy native.PolicyKind, inferences, bootstraps int) {
+	data := nativeAnalysisData(b)
+	opts := native.AnalysisOptions{
+		Inferences: inferences,
+		Bootstraps: bootstraps,
+		Search:     phylo.SearchOptions{SmoothingRounds: 2, MaxRounds: 2, Epsilon: 0.05},
+		Seed:       3,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := native.New(native.Options{Policy: policy, SPEsPerLoop: 4})
+		if _, err := native.RunAnalysis(rt, data, opts); err != nil {
+			b.Fatal(err)
+		}
+		rt.Close()
+	}
+}
+
+// BenchmarkNative_EDTLP runs a real phylogenetic analysis with pure
+// task-level parallelism on the goroutine-backed runtime.
+func BenchmarkNative_EDTLP(b *testing.B) { benchNative(b, native.EDTLP, 2, 6) }
+
+// BenchmarkNative_LLP runs the same analysis with every task's likelihood
+// loops work-shared over four workers.
+func BenchmarkNative_LLP(b *testing.B) { benchNative(b, native.StaticLLP, 2, 6) }
+
+// BenchmarkNative_MGPS runs the same analysis under the adaptive policy.
+func BenchmarkNative_MGPS(b *testing.B) { benchNative(b, native.MGPS, 2, 6) }
+
+// BenchmarkNative_LowTaskParallelism is the regime the paper motivates LLP
+// with: fewer concurrent tree searches than workers.
+func BenchmarkNative_LowTaskParallelism(b *testing.B) { benchNative(b, native.MGPS, 2, 0) }

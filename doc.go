@@ -1,0 +1,10 @@
+// Package cellmg is a Go reproduction of "Dynamic Multigrain Parallelization
+// on the Cell Broadband Engine" (Blagojevic, Nikolopoulos, Stamatakis,
+// Antonopoulos; PPoPP 2007).
+//
+// The repository contains no importable code at the module root; the library
+// lives under internal/ (see DESIGN.md for the system inventory), the
+// executables under cmd/, runnable examples under examples/, and the
+// benchmark harness that regenerates every table and figure of the paper in
+// bench_test.go next to this file.
+package cellmg

@@ -1,0 +1,84 @@
+// Example adaptive_loops: watch the MGPS controller switch parallelization
+// modes as the degree of task-level parallelism changes at runtime.
+//
+// The program runs three phases against one runtime:
+//
+//  1. eight concurrent task streams  -> plenty of task-level parallelism,
+//     the controller keeps (nearly) every loop serial (EDTLP);
+//  2. two concurrent task streams    -> most workers would idle, so the
+//     controller starts work-sharing each task's loops (EDTLP-LLP);
+//  3. back to eight streams          -> loop-level parallelism is throttled
+//     again.
+//
+// This is the behaviour the paper's Section 5.4 describes: loop-level
+// parallelism is only exposed when task-level parallelism leaves SPEs (here:
+// pool workers) idle. Each task models an off-loaded kernel: a parallelizable
+// sweep over a buffer followed by a short stall that stands in for the DMA
+// and synchronization latency an SPE kernel pays regardless of the host CPU
+// count, so the demonstration behaves the same on any machine.
+//
+//	go run ./examples/adaptive_loops
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"cellmg/internal/native"
+)
+
+const loopSize = 20_000
+
+// offloadedKernel is one task body: a work-sharable loop plus a fixed stall.
+func offloadedKernel(tc *native.TaskContext) {
+	buf := make([]float64, loopSize)
+	tc.ParallelFor(loopSize, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			buf[j] = math.Sin(float64(j)) * math.Sqrt(float64(j))
+		}
+	})
+	time.Sleep(2 * time.Millisecond) // DMA/synchronization stall
+}
+
+func phase(rt *native.Runtime, name string, streams, tasksPerStream int) {
+	before := rt.Stats()
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		sub := rt.NewSubmitter()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < tasksPerStream; i++ {
+				if err := sub.Offload(offloadedKernel); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	after := rt.Stats()
+	shared := after.LoopsWorkShared - before.LoopsWorkShared
+	serial := after.LoopsSerial - before.LoopsSerial
+	fmt.Printf("%-26s loops work-shared: %3d   loops kept serial: %3d   (decision at phase end: %v)\n",
+		name, shared, serial, rt.Decision())
+}
+
+func main() {
+	rt := native.New(native.Options{Workers: 8, Policy: native.MGPS})
+	defer rt.Close()
+
+	fmt.Printf("initial decision: %v (MGPS starts conservatively in EDTLP mode)\n\n", rt.Decision())
+	phase(rt, "phase 1: 8 task streams", 8, 12)
+	phase(rt, "phase 2: 2 task streams", 2, 24)
+	phase(rt, "phase 3: 8 task streams", 8, 12)
+
+	s := rt.Stats()
+	fmt.Printf("\ntotals: %d tasks, %d work-shared loops, %d serial loops, %d MGPS evaluations, %d mode switches\n",
+		s.TasksRun, s.LoopsWorkShared, s.LoopsSerial, s.Evaluations, s.Switches)
+	fmt.Println("\nExpected pattern: almost no work-sharing in phases 1 and 3 (eight task streams keep the pool busy")
+	fmt.Println("by themselves), and heavy work-sharing in phase 2, where two streams would otherwise leave six")
+	fmt.Println("of the eight workers idle. The instantaneous decision printed at a phase end can lag by one")
+	fmt.Println("adaptation window — exactly the hysteresis the paper builds into the controller.")
+}

@@ -1,0 +1,21 @@
+// Package cellsim models the Cell Broadband Engine as a discrete-event
+// system: a blade with one or more Cell processors, each consisting of a
+// dual-thread Power Processing Element (PPE), eight Synergistic Processing
+// Elements (SPEs) with 256 KB software-managed local stores and Memory Flow
+// Controllers (MFCs), and an Element Interconnect Bus (EIB).
+//
+// The model is intentionally a *scheduling-level* model, not a cycle-accurate
+// one. It captures the quantities that determine the behaviour studied in
+// Blagojevic et al. (PPoPP 2007): the duration of off-loaded tasks and of the
+// PPE code between off-loads, PPE SMT contention, context-switch cost,
+// PPE<->SPE signalling latency, DMA start-up latency and bandwidth (with the
+// architectural 16 KB transfer granularity), local-store capacity and the
+// cost of (re)loading SPE code modules. All constants live in CostModel and
+// are calibrated from the figures reported in the paper and the public Cell
+// documentation; every one of them can be overridden, which is how the
+// ablation experiments sweep them.
+//
+// The hardware substrate exposed here is policy-free: packages offload and
+// sched implement the off-load runtime and the EDTLP/LLP/MGPS schedulers on
+// top of it.
+package cellsim

@@ -1,0 +1,109 @@
+package cellsim
+
+import (
+	"fmt"
+
+	"cellmg/internal/sim"
+)
+
+// PPE models the Power Processing Element of one Cell: a dual-thread (SMT)
+// PowerPC core. The PPE itself does not schedule anything; the scheduler
+// models in package sched run one dispatcher process per SMT context and use
+// Compute / ContextSwitch / KernelSwitch to charge time.
+type PPE struct {
+	machine *Machine
+	cell    *Cell
+
+	contexts *sim.Resource // SMT hardware contexts
+	active   int           // contexts currently executing Compute
+	busy     sim.Duration  // cumulative context-occupied compute time
+
+	switches       int // voluntary (user-level) context switches performed
+	kernelSwitches int // involuntary (kernel) context switches performed
+}
+
+func newPPE(m *Machine, cell *Cell) *PPE {
+	return &PPE{
+		machine:  m,
+		cell:     cell,
+		contexts: sim.NewResource(m.Eng, fmt.Sprintf("cell%d.ppe", cell.Index), m.Cost.PPEContexts),
+	}
+}
+
+// Cell returns the Cell this PPE belongs to.
+func (p *PPE) Cell() *Cell { return p.cell }
+
+// Contexts returns the number of SMT hardware contexts.
+func (p *PPE) Contexts() int { return p.machine.Cost.PPEContexts }
+
+// BusyTime returns the cumulative compute time charged across all contexts.
+func (p *PPE) BusyTime() sim.Duration { return p.busy }
+
+// Switches returns the number of voluntary user-level context switches
+// charged with ContextSwitch.
+func (p *PPE) Switches() int { return p.switches }
+
+// KernelSwitches returns the number of kernel-level switches charged with
+// KernelSwitch.
+func (p *PPE) KernelSwitches() int { return p.kernelSwitches }
+
+// AcquireContext blocks the calling dispatcher process until an SMT hardware
+// context is free and claims it. Scheduler models that pin one dispatcher
+// process per context acquire once at start-up; models that multiplex more
+// software threads than contexts acquire/release around each burst.
+func (p *PPE) AcquireContext(proc *sim.Proc) { p.contexts.Acquire(proc, 1) }
+
+// ReleaseContext releases a context claimed with AcquireContext.
+func (p *PPE) ReleaseContext() { p.contexts.Release(1) }
+
+// Compute charges d of PPE computation to the calling process. If the other
+// SMT context is computing at the same time, the duration is stretched by
+// the SMT contention factor: the two hardware threads share the PPE's
+// in-order pipeline, so co-scheduled compute phases slow each other down.
+// The caller must already hold a hardware context.
+func (p *PPE) Compute(proc *sim.Proc, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	factor := 1.0
+	if p.active > 0 && p.machine.Cost.SMTContention > 1.0 {
+		factor = p.machine.Cost.SMTContention
+	}
+	stretched := sim.Duration(float64(d) * factor)
+	p.active++
+	p.busy += stretched
+	start := proc.Now()
+	proc.Delay(stretched)
+	p.active--
+	p.machine.emit(fmt.Sprintf("cell%d.ppe", p.cell.Index), start, proc.Now(), "compute")
+}
+
+// ContextSwitch charges the cost of one voluntary user-level context switch
+// (switching between MPI processes in the EDTLP scheduler).
+func (p *PPE) ContextSwitch(proc *sim.Proc) {
+	p.switches++
+	p.busy += p.machine.Cost.ContextSwitch
+	proc.Delay(p.machine.Cost.ContextSwitch)
+}
+
+// Resume charges the indirect cost of bringing a switched-out MPI process
+// back onto a PPE context (cold caches/TLBs plus user-level scheduler
+// dispatch); see CostModel.ResumePenalty.
+func (p *PPE) Resume(proc *sim.Proc) {
+	d := p.machine.Cost.ResumePenalty
+	if d <= 0 {
+		return
+	}
+	p.busy += d
+	proc.Delay(d)
+}
+
+// KernelSwitch charges the cost of one involuntary kernel-level context
+// switch (quantum expiry under the native OS scheduler), which is more
+// expensive than the user-level switch because it crosses address spaces and
+// pollutes caches and TLBs.
+func (p *PPE) KernelSwitch(proc *sim.Proc) {
+	p.kernelSwitches++
+	p.busy += p.machine.Cost.KernelSwitch
+	proc.Delay(p.machine.Cost.KernelSwitch)
+}

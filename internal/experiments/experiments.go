@@ -1,0 +1,177 @@
+// Package experiments defines one reproduction harness per table and figure
+// of the paper's evaluation (Section 5), plus the ablations called out in
+// DESIGN.md. Each experiment runs the scheduler models from package sched
+// (and, for Figure 10, the host models from package hostsim) on the RAxML
+// 42_SC workload model, formats its results in the same layout as the paper,
+// and checks the paper's qualitative claims, reporting each as a pass/fail
+// Claim.
+//
+// The cmd/experiments binary runs everything and emits EXPERIMENTS.md;
+// bench_test.go at the repository root exposes each experiment as a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cellmg/internal/stats"
+	"cellmg/internal/workload"
+)
+
+// Config controls how heavy the reproduction runs are.
+type Config struct {
+	// Workload is the task-graph model; nil selects workload.RAxML42SC.
+	Workload *workload.Config
+	// Quick trims the number of off-loads per bootstrap and the sweep points
+	// so the whole suite runs in seconds; the full configuration is used by
+	// cmd/experiments for the recorded EXPERIMENTS.md numbers.
+	Quick bool
+}
+
+// effectiveWorkload returns the workload to simulate, applying the Quick
+// scaling if requested.
+func (c Config) effectiveWorkload() *workload.Config {
+	base := c.Workload
+	if base == nil {
+		base = workload.RAxML42SC()
+	}
+	cfg := base.Clone()
+	if c.Quick && cfg.CallsPerBootstrap > 150 {
+		cfg.CallsPerBootstrap = 150
+	}
+	return cfg
+}
+
+// sweepSmall returns the bootstrap counts for the "(a) 1-16" panels.
+func (c Config) sweepSmall() []int {
+	if c.Quick {
+		return []int{1, 2, 4, 8, 16}
+	}
+	return []int{1, 2, 4, 6, 8, 10, 12, 16}
+}
+
+// sweepLarge returns the bootstrap counts for the "(b) 1-128" panels.
+func (c Config) sweepLarge() []int {
+	if c.Quick {
+		return []int{16, 32, 64}
+	}
+	return []int{16, 32, 48, 64, 96, 128}
+}
+
+// Claim is one qualitative statement from the paper checked against the
+// reproduction.
+type Claim struct {
+	Description string
+	Pass        bool
+	Detail      string
+}
+
+func (c Claim) String() string {
+	mark := "PASS"
+	if !c.Pass {
+		mark = "FAIL"
+	}
+	return fmt.Sprintf("[%s] %s (%s)", mark, c.Description, c.Detail)
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Series []*stats.Series
+	Claims []Claim
+	Notes  []string
+}
+
+// Passed reports whether every claim passed.
+func (r Report) Passed() bool {
+	for _, c := range r.Claims {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as plain text.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "series %s:", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, " (%g, %.1f)", p.X, p.Y)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Series) > 0 {
+		b.WriteString("\n")
+	}
+	for _, c := range r.Claims {
+		b.WriteString(c.String())
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a markdown section for EXPERIMENTS.md.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteString("\n")
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "**%s**:", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, " (%g → %.1f s)", p.X, p.Y)
+		}
+		b.WriteString("\n\n")
+	}
+	if len(r.Claims) > 0 {
+		b.WriteString("Claims:\n\n")
+		for _, c := range r.Claims {
+			mark := "✅"
+			if !c.Pass {
+				mark = "❌"
+			}
+			fmt.Fprintf(&b, "- %s %s — %s\n", mark, c.Description, c.Detail)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "> %s\n\n", n)
+	}
+	return b.String()
+}
+
+// claim is a small helper for building Claims.
+func claim(desc string, pass bool, detailFormat string, args ...any) Claim {
+	return Claim{Description: desc, Pass: pass, Detail: fmt.Sprintf(detailFormat, args...)}
+}
+
+// All runs every experiment in order.
+func All(cfg Config) []Report {
+	return []Report{
+		SPEOptimization(cfg),
+		Table1(cfg),
+		Table2(cfg),
+		Figure7(cfg),
+		Figure8(cfg),
+		Figure9(cfg),
+		Figure10(cfg),
+		AblationSwitchCostQuantum(cfg),
+		AblationMGPSWindow(cfg),
+		AblationScaleInvariance(cfg),
+	}
+}

@@ -1,0 +1,149 @@
+package native
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"cellmg/internal/phylo"
+)
+
+// AnalysisOptions configures a parallel RAxML-style analysis: a number of
+// distinct inferences on the original alignment plus a number of
+// non-parametric bootstrap replicates, exactly the workload the paper
+// schedules on the Cell.
+type AnalysisOptions struct {
+	Inferences int
+	Bootstraps int
+	Search     phylo.SearchOptions
+	Seed       int64
+	// Model and Rates default to JC69 with a single rate category.
+	Model phylo.Model
+	Rates phylo.RateCategories
+}
+
+// AnalysisResult mirrors phylo.AnalysisResult; the parallel driver must
+// produce the same content as the serial reference.
+type AnalysisResult struct {
+	BestTree      *phylo.Tree
+	BestLogLik    float64
+	InferenceLogs []float64
+	Replicates    []*phylo.Tree
+	Support       map[string]float64
+}
+
+// RunAnalysis executes the analysis on the runtime: every inference and every
+// bootstrap replicate is an independent off-loaded task (task-level
+// parallelism), and each task's likelihood loops are work-shared over the
+// task's worker group (loop-level parallelism) whenever the runtime's policy
+// grants it more than one worker.
+//
+// Each task is driven by its own Submitter, so the runtime sees the same
+// picture the paper's PPE scheduler sees: as many concurrent task streams as
+// there are outstanding tree searches.
+func RunAnalysis(rt *Runtime, data *phylo.PatternAlignment, opts AnalysisOptions) (*AnalysisResult, error) {
+	if opts.Inferences <= 0 {
+		opts.Inferences = 1
+	}
+	model := opts.Model
+	if model == nil {
+		model = phylo.NewJC69()
+	}
+	rates := opts.Rates
+	if rates.Count() == 0 {
+		rates = phylo.SingleRate()
+	}
+
+	type job struct {
+		bootstrap bool
+		index     int
+	}
+	type outcome struct {
+		job    job
+		tree   *phylo.Tree
+		loglik float64
+		err    error
+	}
+
+	var jobs []job
+	for i := 0; i < opts.Inferences; i++ {
+		jobs = append(jobs, job{bootstrap: false, index: i})
+	}
+	for b := 0; b < opts.Bootstraps; b++ {
+		jobs = append(jobs, job{bootstrap: true, index: b})
+	}
+
+	// Bootstrap weights are drawn up front from a single deterministic
+	// stream so the result does not depend on task completion order.
+	bootWeights := make([][]float64, opts.Bootstraps)
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5deece66d))
+	for b := 0; b < opts.Bootstraps; b++ {
+		bootWeights[b] = phylo.BootstrapWeights(data, rng)
+	}
+
+	results := make([]outcome, len(jobs))
+	var wg sync.WaitGroup
+	for ji, j := range jobs {
+		ji, j := ji, j
+		sub := rt.NewSubmitter()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := sub.Offload(func(tc *TaskContext) {
+				taskData := data
+				seed := opts.Seed + int64(j.index)
+				if j.bootstrap {
+					var werr error
+					taskData, werr = data.WithWeights(bootWeights[j.index])
+					if werr != nil {
+						results[ji] = outcome{job: j, err: werr}
+						return
+					}
+					seed = opts.Seed + 1000 + int64(j.index)
+				}
+				eng, err := phylo.NewEngine(taskData, model, rates)
+				if err != nil {
+					results[ji] = outcome{job: j, err: err}
+					return
+				}
+				// Loop-level parallelism: the engine's pattern loops run on
+				// the task's worker group.
+				eng.SetParallel(tc.ParallelFor)
+				so := opts.Search
+				so.Seed = seed
+				sr, err := eng.Search(so)
+				if err != nil {
+					results[ji] = outcome{job: j, err: err}
+					return
+				}
+				results[ji] = outcome{job: j, tree: sr.Tree, loglik: sr.LogLikelihood}
+			})
+			if err != nil && results[ji].err == nil {
+				results[ji] = outcome{job: j, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &AnalysisResult{BestLogLik: -1e308}
+	res.InferenceLogs = make([]float64, opts.Inferences)
+	res.Replicates = make([]*phylo.Tree, opts.Bootstraps)
+	for _, out := range results {
+		if out.err != nil {
+			return nil, fmt.Errorf("native: task failed: %w", out.err)
+		}
+		if out.job.bootstrap {
+			res.Replicates[out.job.index] = out.tree
+			continue
+		}
+		res.InferenceLogs[out.job.index] = out.loglik
+		if out.loglik > res.BestLogLik {
+			res.BestLogLik = out.loglik
+			res.BestTree = out.tree
+		}
+	}
+	if res.BestTree != nil && len(res.Replicates) > 0 {
+		res.Support = phylo.SupportValues(res.BestTree, res.Replicates)
+	}
+	return res, nil
+}

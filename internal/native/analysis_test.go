@@ -1,0 +1,155 @@
+package native
+
+import (
+	"math"
+	"testing"
+
+	"cellmg/internal/phylo"
+)
+
+// testData builds a small synthetic pattern alignment shared by the analysis
+// tests.
+func testData(t *testing.T) *phylo.PatternAlignment {
+	t.Helper()
+	_, aln, err := phylo.Simulate(phylo.SimulateOptions{Taxa: 8, Length: 400, Seed: 13, MeanBranchLength: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := phylo.Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func analysisOpts() AnalysisOptions {
+	return AnalysisOptions{
+		Inferences: 3,
+		Bootstraps: 4,
+		Search:     phylo.SearchOptions{SmoothingRounds: 2, MaxRounds: 3, Epsilon: 0.05},
+		Seed:       29,
+	}
+}
+
+func TestParallelAnalysisMatchesSerialReference(t *testing.T) {
+	data := testData(t)
+	opts := analysisOpts()
+
+	serial, err := phylo.RunAnalysis(data, phylo.NewJC69(), phylo.SingleRate(), phylo.AnalysisOptions{
+		Inferences: opts.Inferences,
+		Bootstraps: opts.Bootstraps,
+		Search:     opts.Search,
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := New(Options{Workers: 4, Policy: EDTLP})
+	defer rt.Close()
+	parallel, err := RunAnalysis(rt, data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same seeds, same search code: the per-inference likelihoods must match
+	// the serial reference exactly regardless of scheduling.
+	if len(parallel.InferenceLogs) != len(serial.InferenceLogs) {
+		t.Fatalf("inference count mismatch")
+	}
+	for i := range serial.InferenceLogs {
+		if math.Abs(parallel.InferenceLogs[i]-serial.InferenceLogs[i]) > 1e-9 {
+			t.Errorf("inference %d: parallel %v vs serial %v", i, parallel.InferenceLogs[i], serial.InferenceLogs[i])
+		}
+	}
+	if math.Abs(parallel.BestLogLik-serial.BestLogLik) > 1e-9 {
+		t.Errorf("best log-likelihood: parallel %v vs serial %v", parallel.BestLogLik, serial.BestLogLik)
+	}
+	if len(parallel.Replicates) != opts.Bootstraps {
+		t.Errorf("replicates = %d, want %d", len(parallel.Replicates), opts.Bootstraps)
+	}
+	for i, rep := range parallel.Replicates {
+		if rep == nil {
+			t.Errorf("replicate %d missing", i)
+		}
+	}
+}
+
+func TestParallelAnalysisDeterministicAcrossPolicies(t *testing.T) {
+	data := testData(t)
+	opts := analysisOpts()
+	var reference []float64
+	for _, pol := range []PolicyKind{EDTLP, StaticLLP, MGPS} {
+		rt := New(Options{Workers: 4, Policy: pol, SPEsPerLoop: 2})
+		res, err := RunAnalysis(rt, data, opts)
+		rt.Close()
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if reference == nil {
+			reference = res.InferenceLogs
+			continue
+		}
+		for i := range reference {
+			if math.Abs(res.InferenceLogs[i]-reference[i]) > 1e-9 {
+				t.Errorf("%v: inference %d likelihood %v differs from reference %v",
+					pol, i, res.InferenceLogs[i], reference[i])
+			}
+		}
+	}
+}
+
+func TestParallelAnalysisWithLLPExercisesWorkSharing(t *testing.T) {
+	data := testData(t)
+	rt := New(Options{Workers: 4, Policy: StaticLLP, SPEsPerLoop: 4})
+	defer rt.Close()
+	opts := analysisOpts()
+	opts.Inferences = 1
+	opts.Bootstraps = 0
+	if _, err := RunAnalysis(rt, data, opts); err != nil {
+		t.Fatal(err)
+	}
+	s := rt.Stats()
+	if s.LoopsWorkShared == 0 {
+		t.Errorf("likelihood loops should have been work-shared, stats = %+v", s)
+	}
+}
+
+func TestAnalysisSupportValuesWellFormed(t *testing.T) {
+	data := testData(t)
+	rt := New(Options{Workers: 4, Policy: MGPS})
+	defer rt.Close()
+	res, err := RunAnalysis(rt, data, analysisOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestTree == nil {
+		t.Fatalf("no best tree")
+	}
+	if len(res.Support) == 0 {
+		t.Errorf("bootstrap support values missing")
+	}
+	for split, v := range res.Support {
+		if v < 0 || v > 1 {
+			t.Errorf("support for %q = %v outside [0,1]", split, v)
+		}
+	}
+}
+
+func TestAnalysisDefaults(t *testing.T) {
+	data := testData(t)
+	rt := New(Options{Workers: 2})
+	defer rt.Close()
+	res, err := RunAnalysis(rt, data, AnalysisOptions{
+		Search: phylo.SearchOptions{SmoothingRounds: 1, MaxRounds: 1, Epsilon: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InferenceLogs) != 1 {
+		t.Errorf("default inference count should be 1")
+	}
+	if res.Support != nil {
+		t.Errorf("no bootstraps -> no support values")
+	}
+}

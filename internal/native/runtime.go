@@ -1,0 +1,369 @@
+// Package native is the Go-native counterpart of the paper's runtime system:
+// a multigrain scheduler that exploits task-level and loop-level parallelism
+// over a fixed pool of workers, switching between the two adaptively with the
+// same MGPS policy the Cell scheduler uses.
+//
+// The mapping from the paper's hardware to this runtime is:
+//
+//   - SPEs            -> pool workers (goroutines pinned to a logical slot)
+//   - MPI processes   -> Submitters (independent streams of off-loadable tasks)
+//   - off-loading     -> Submitter.Offload, which runs the task body on one
+//     worker while the submitting goroutine waits (EDTLP: waiting submitters
+//     cost nothing, so any number of them can feed the pool)
+//   - loop-level
+//     parallelism     -> TaskContext.ParallelFor, which work-shares a loop
+//     across the worker group assigned to the task, with the master slice
+//     deliberately larger (the paper's purposeful load unbalancing)
+//   - MGPS            -> policy.MGPS observing off-load completions and
+//     choosing between one worker per task and ⌊workers/T⌋ workers per task
+//
+// The package is exercised end to end by the phylogenetic analysis driver in
+// analysis.go, the examples, and the E10 benchmarks.
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cellmg/internal/policy"
+)
+
+// PolicyKind selects how the runtime assigns workers to off-loaded tasks.
+type PolicyKind int
+
+const (
+	// EDTLP assigns exactly one worker per task (pure task-level parallelism).
+	EDTLP PolicyKind = iota
+	// StaticLLP assigns a fixed-size worker group to every task.
+	StaticLLP
+	// MGPS adapts between EDTLP and group assignment using the paper's
+	// controller.
+	MGPS
+)
+
+func (p PolicyKind) String() string {
+	switch p {
+	case EDTLP:
+		return "EDTLP"
+	case StaticLLP:
+		return "StaticLLP"
+	case MGPS:
+		return "MGPS"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// Options configures a Runtime.
+type Options struct {
+	// Workers is the pool size; it defaults to 8 (the number of SPEs on a
+	// Cell) capped at GOMAXPROCS when that is smaller.
+	Workers int
+	// Policy selects the scheduling policy (default EDTLP).
+	Policy PolicyKind
+	// SPEsPerLoop is the fixed group size for StaticLLP (default 4).
+	SPEsPerLoop int
+	// MGPS overrides the adaptive controller configuration; the zero value
+	// uses the paper's defaults for the worker count.
+	MGPS policy.MGPSConfig
+	// MasterShareBonus is the extra fraction of loop iterations given to the
+	// master slice of a work-shared loop to compensate for worker wake-up
+	// latency (default 0.05).
+	MasterShareBonus float64
+}
+
+// Stats is a snapshot of runtime counters.
+type Stats struct {
+	TasksRun        int64
+	LoopsWorkShared int64
+	LoopsSerial     int64
+	Switches        int // MGPS decision changes
+	Evaluations     int // MGPS windows evaluated
+	WorkerBusy      []time.Duration
+}
+
+// Runtime is the multigrain scheduler.
+type Runtime struct {
+	opts    Options
+	workers []*worker
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	alloc   *policy.SPEAllocator
+	mgps    *policy.MGPS
+	static  policy.Decision
+	active  int // submitters with an off-load in flight or waiting for workers
+	closed  bool
+	nextSub int64
+
+	tasksRun        int64
+	loopsWorkShared int64
+	loopsSerial     int64
+}
+
+type worker struct {
+	id   int
+	jobs chan func()
+	busy atomic.Int64 // nanoseconds
+	wg   sync.WaitGroup
+}
+
+// New creates and starts a runtime.
+func New(opts Options) *Runtime {
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+		if p := runtime.GOMAXPROCS(0); p < opts.Workers {
+			opts.Workers = p
+		}
+	}
+	if opts.SPEsPerLoop <= 0 {
+		opts.SPEsPerLoop = 4
+	}
+	if opts.SPEsPerLoop > opts.Workers {
+		opts.SPEsPerLoop = opts.Workers
+	}
+	if opts.MasterShareBonus <= 0 {
+		opts.MasterShareBonus = 0.05
+	}
+	r := &Runtime{
+		opts:  opts,
+		alloc: policy.NewSPEAllocator(opts.Workers),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	switch opts.Policy {
+	case StaticLLP:
+		r.static = policy.StaticLLPDecision(opts.SPEsPerLoop)
+	case MGPS:
+		cfg := opts.MGPS
+		if cfg.NumSPEs == 0 {
+			cfg = policy.DefaultMGPSConfig(opts.Workers)
+		}
+		r.mgps = policy.NewMGPS(cfg)
+	default:
+		r.static = policy.Decision{UseLLP: false, SPEsPerLoop: 1}
+	}
+	for i := 0; i < opts.Workers; i++ {
+		w := &worker{id: i, jobs: make(chan func())}
+		w.wg.Add(1)
+		go w.run()
+		r.workers = append(r.workers, w)
+	}
+	return r
+}
+
+func (w *worker) run() {
+	defer w.wg.Done()
+	for job := range w.jobs {
+		start := time.Now()
+		job()
+		w.busy.Add(int64(time.Since(start)))
+	}
+}
+
+// Close shuts the worker pool down. Outstanding Offload calls must have
+// completed; calling Offload after Close returns an error.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	for _, w := range r.workers {
+		close(w.jobs)
+		w.wg.Wait()
+	}
+}
+
+// Workers returns the pool size.
+func (r *Runtime) Workers() int { return r.opts.Workers }
+
+// Policy returns the configured policy kind.
+func (r *Runtime) Policy() PolicyKind { return r.opts.Policy }
+
+// Decision returns the worker-assignment decision currently in force.
+func (r *Runtime) Decision() policy.Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.decisionLocked()
+}
+
+func (r *Runtime) decisionLocked() policy.Decision {
+	if r.mgps != nil {
+		return r.mgps.Current()
+	}
+	return r.static
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		TasksRun:        atomic.LoadInt64(&r.tasksRun),
+		LoopsWorkShared: atomic.LoadInt64(&r.loopsWorkShared),
+		LoopsSerial:     atomic.LoadInt64(&r.loopsSerial),
+	}
+	if r.mgps != nil {
+		s.Switches = r.mgps.Switches()
+		s.Evaluations = r.mgps.Evaluations()
+	}
+	for _, w := range r.workers {
+		s.WorkerBusy = append(s.WorkerBusy, time.Duration(w.busy.Load()))
+	}
+	return s
+}
+
+// Submitter is one independent stream of off-loadable tasks — the analogue of
+// one MPI process on the PPE.
+type Submitter struct {
+	rt *Runtime
+	id int
+}
+
+// NewSubmitter registers a new task stream.
+func (r *Runtime) NewSubmitter() *Submitter {
+	id := int(atomic.AddInt64(&r.nextSub, 1))
+	return &Submitter{rt: r, id: id}
+}
+
+// TaskContext is passed to an off-loaded task body; it exposes the loop-level
+// parallelism of the worker group assigned to the task.
+type TaskContext struct {
+	rt     *Runtime
+	group  []int // worker slots held by this task; group[0] is the master
+	master int
+}
+
+// GroupSize returns the number of workers assigned to the task (1 when
+// loop-level parallelism is off).
+func (tc *TaskContext) GroupSize() int { return len(tc.group) }
+
+// Offload runs fn as one off-loaded task: it blocks until the task completes,
+// mirroring an MPI process waiting for its off-loaded function, while other
+// submitters keep feeding the pool. The task body runs on a worker; its
+// parallel loops run on the task's worker group via TaskContext.ParallelFor.
+func (s *Submitter) Offload(fn func(tc *TaskContext)) error {
+	r := s.rt
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("native: runtime is closed")
+	}
+	r.active++
+	// Acquire a worker group according to the decision in force, waiting if
+	// the pool is fully busy. The decision is re-read after every wait so an
+	// MGPS mode switch applies immediately.
+	var group []int
+	for {
+		dec := r.decisionLocked()
+		want := 1
+		if dec.UseLLP {
+			want = dec.SPEsPerLoop
+			if want > r.opts.Workers {
+				want = r.opts.Workers
+			}
+		}
+		var ok bool
+		if want <= 1 {
+			var id int
+			id, ok = r.alloc.AcquireOne()
+			group = []int{id}
+		} else {
+			group, ok = r.alloc.AcquireGroup(want)
+		}
+		if ok {
+			break
+		}
+		r.cond.Wait()
+		if r.closed {
+			r.active--
+			r.mu.Unlock()
+			return fmt.Errorf("native: runtime closed while waiting for workers")
+		}
+	}
+	if r.mgps != nil {
+		r.mgps.RecordOffload(s.id, group[0])
+	}
+	r.mu.Unlock()
+
+	// Run the task body on the master worker.
+	tc := &TaskContext{rt: r, group: group, master: group[0]}
+	done := make(chan struct{})
+	r.workers[group[0]].jobs <- func() {
+		fn(tc)
+		close(done)
+	}
+	<-done
+	atomic.AddInt64(&r.tasksRun, 1)
+
+	r.mu.Lock()
+	r.alloc.ReleaseGroup(group)
+	r.active--
+	if r.mgps != nil {
+		waiting := r.active + 1 // tasks currently wanting workers, including the stream that just finished
+		r.mgps.RecordCompletion(s.id, waiting)
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return nil
+}
+
+// ParallelFor work-shares the loop body over the task's worker group. The
+// master worker (the one executing the task body) takes a slightly larger
+// slice, compensating for the latency of waking the other workers — the Go
+// analogue of the paper's purposeful load unbalancing. With a single-worker
+// group the loop runs serially on the master.
+//
+// It has the signature of phylo.ParallelFor, so it can be plugged directly
+// into a likelihood engine.
+func (tc *TaskContext) ParallelFor(n int, body func(lo, hi int)) {
+	r := tc.rt
+	if n <= 0 {
+		return
+	}
+	if len(tc.group) <= 1 || n == 1 {
+		atomic.AddInt64(&r.loopsSerial, 1)
+		body(0, n)
+		return
+	}
+	atomic.AddInt64(&r.loopsWorkShared, 1)
+	workers := len(tc.group)
+	// Master bonus: the master executes its chunk inline without a channel
+	// round trip, so give it a slightly larger share.
+	masterShare := int(float64(n)/float64(workers)*(1+r.opts.MasterShareBonus)) + 1
+	if masterShare > n {
+		masterShare = n
+	}
+	rest := n - masterShare
+	perWorker := rest / (workers - 1)
+	extra := rest % (workers - 1)
+
+	var wg sync.WaitGroup
+	lo := masterShare
+	for i := 1; i < workers; i++ {
+		chunk := perWorker
+		if i <= extra {
+			chunk++
+		}
+		if chunk == 0 {
+			continue
+		}
+		hi := lo + chunk
+		wg.Add(1)
+		cl, ch := lo, hi
+		r.workers[tc.group[i]].jobs <- func() {
+			defer wg.Done()
+			body(cl, ch)
+		}
+		lo = hi
+	}
+	// Master slice runs inline (we are already on the master worker).
+	body(0, masterShare)
+	wg.Wait()
+}

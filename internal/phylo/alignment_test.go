@@ -1,0 +1,260 @@
+package phylo
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const samplePhylip = `4 12
+alpha  ACGTACGTACGT
+beta   ACGTACGAACGT
+gamma  ACGAACGAACGA
+delta  TCGAACGAACGA
+`
+
+func TestParsePhylip(t *testing.T) {
+	aln, err := ParsePhylip(strings.NewReader(samplePhylip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aln.NumTaxa() != 4 || aln.Length() != 12 {
+		t.Fatalf("parsed %d taxa x %d sites", aln.NumTaxa(), aln.Length())
+	}
+	if aln.Names[0] != "alpha" || aln.Names[3] != "delta" {
+		t.Errorf("names = %v", aln.Names)
+	}
+	if string(aln.Seqs[3][:4]) != "TCGA" {
+		t.Errorf("sequence content wrong: %s", aln.Seqs[3])
+	}
+}
+
+func TestParsePhylipErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "not a header\nfoo ACGT\n",
+		"taxa mismatch":   "3 4\na ACGT\nb ACGT\n",
+		"length mismatch": "2 5\na ACGT\nb ACGT\n",
+		"bad character":   "2 4\na ACZT\nb ACGT\n",
+		"duplicate name":  "2 4\na ACGT\na ACGT\n",
+		"missing seq":     "2 4\na\nb ACGT\n",
+	}
+	for name, input := range cases {
+		if _, err := ParsePhylip(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected a parse error", name)
+		}
+	}
+}
+
+func TestPhylipRoundTrip(t *testing.T) {
+	aln, err := ParsePhylip(strings.NewReader(samplePhylip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := aln.WritePhylip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParsePhylip(&buf)
+	if err != nil {
+		t.Fatalf("re-parsing written PHYLIP failed: %v", err)
+	}
+	if again.NumTaxa() != aln.NumTaxa() || again.Length() != aln.Length() {
+		t.Errorf("round trip changed dimensions")
+	}
+	for i := range aln.Seqs {
+		if string(again.Seqs[i]) != string(aln.Seqs[i]) {
+			t.Errorf("round trip changed sequence %d", i)
+		}
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	cases := map[byte]uint8{
+		'A': 1, 'C': 2, 'G': 4, 'T': 8, 'U': 8,
+		'a': 1, 't': 8,
+		'R': 5, 'Y': 10, 'N': 15, '-': 15, '?': 15,
+		'M': 3, 'K': 12, 'W': 9, 'S': 6,
+		'B': 14, 'D': 13, 'H': 11, 'V': 7,
+		'Z': 0, '1': 0,
+	}
+	for c, want := range cases {
+		if got := stateBits(c); got != want {
+			t.Errorf("stateBits(%q) = %04b, want %04b", c, got, want)
+		}
+	}
+}
+
+func TestCompressPatterns(t *testing.T) {
+	aln, err := ParsePhylip(strings.NewReader(samplePhylip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.NumTaxa() != 4 {
+		t.Errorf("taxa = %d", pa.NumTaxa())
+	}
+	// The sample has 12 columns: ACGT/ACGT/ACGA/TCGA repeated with three
+	// distinct column types (positions 0,4,8 / 1,2,5,6,9,10 / 3,7,11), so the
+	// compression should find exactly 4 distinct patterns: columns at
+	// positions 0 (A,A,A,T), 4&8 (A,A,A,A), 1,2,... check totals instead.
+	if pa.TotalWeight() != 12 {
+		t.Errorf("pattern weights sum to %v, want 12", pa.TotalWeight())
+	}
+	if pa.NumPatterns() >= 12 || pa.NumPatterns() < 3 {
+		t.Errorf("unexpected pattern count %d", pa.NumPatterns())
+	}
+	if pa.SiteLength != 12 {
+		t.Errorf("site length = %d", pa.SiteLength)
+	}
+}
+
+func TestCompressionIsLosslessForLikelihoodPurposes(t *testing.T) {
+	// Every column of the original alignment must be represented: for each
+	// taxon, the weighted count of each state bit-pattern must match.
+	_, aln, err := Simulate(SimulateOptions{Taxa: 6, Length: 200, Seed: 3, MeanBranchLength: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for taxon := 0; taxon < aln.NumTaxa(); taxon++ {
+		orig := map[uint8]float64{}
+		for site := 0; site < aln.Length(); site++ {
+			orig[stateBits(aln.Seqs[taxon][site])]++
+		}
+		comp := map[uint8]float64{}
+		for p := 0; p < pa.NumPatterns(); p++ {
+			comp[pa.States[taxon][p]] += pa.Weights[p]
+		}
+		for bits, count := range orig {
+			if comp[bits] != count {
+				t.Fatalf("taxon %d: state %04b appears %v times compressed vs %v original", taxon, bits, comp[bits], count)
+			}
+		}
+	}
+}
+
+func TestCompressDeterministicOrder(t *testing.T) {
+	_, aln, err := Simulate(SimulateOptions{Taxa: 5, Length: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Compress(aln)
+	b, _ := Compress(aln)
+	if a.NumPatterns() != b.NumPatterns() {
+		t.Fatalf("pattern counts differ")
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("pattern order not deterministic")
+		}
+	}
+}
+
+func TestWithWeights(t *testing.T) {
+	aln, _ := ParsePhylip(strings.NewReader(samplePhylip))
+	pa, _ := Compress(aln)
+	w := make([]float64, pa.NumPatterns())
+	for i := range w {
+		w[i] = 2
+	}
+	re, err := pa.WithWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.TotalWeight() != float64(2*pa.NumPatterns()) {
+		t.Errorf("reweighted total = %v", re.TotalWeight())
+	}
+	if pa.Weights[0] == 2 && pa.Weights[1] == 2 && pa.Weights[len(pa.Weights)-1] == 2 {
+		t.Errorf("WithWeights must not mutate the original")
+	}
+	if _, err := pa.WithWeights(w[:1]); err == nil {
+		t.Errorf("mismatched weight length should be rejected")
+	}
+}
+
+func TestTaxonIndex(t *testing.T) {
+	aln, _ := ParsePhylip(strings.NewReader(samplePhylip))
+	pa, _ := Compress(aln)
+	if pa.TaxonIndex("gamma") != 2 {
+		t.Errorf("TaxonIndex(gamma) = %d", pa.TaxonIndex("gamma"))
+	}
+	if pa.TaxonIndex("nonexistent") != -1 {
+		t.Errorf("missing taxon should return -1")
+	}
+}
+
+func TestAlignmentValidate(t *testing.T) {
+	good := &Alignment{Names: []string{"a", "b"}, Seqs: [][]byte{[]byte("ACGT"), []byte("ACGA")}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid alignment rejected: %v", err)
+	}
+	bad := []*Alignment{
+		{Names: []string{"a"}, Seqs: [][]byte{[]byte("ACGT")}},                                      // too few
+		{Names: []string{"a", "b"}, Seqs: [][]byte{[]byte("ACGT"), []byte("ACG")}},                  // ragged
+		{Names: []string{"a", ""}, Seqs: [][]byte{[]byte("ACGT"), []byte("ACGT")}},                  // empty name
+		{Names: []string{"a", "a"}, Seqs: [][]byte{[]byte("ACGT"), []byte("ACGT")}},                 // dup name
+		{Names: []string{"a", "b"}, Seqs: [][]byte{[]byte("AC!T"), []byte("ACGT")}},                 // bad char
+		{Names: []string{"a", "b", "c"}, Seqs: [][]byte{[]byte("ACGT"), []byte("ACGT")}},            // name/seq mismatch
+		{Names: []string{"a", "b"}, Seqs: [][]byte{[]byte(""), []byte("")}},                         // empty seqs
+		{Names: []string{"a", "b"}, Seqs: [][]byte{[]byte("ACGT"), []byte("ACGT"), []byte("ACGT")}}, // extra seq
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad alignment %d accepted", i)
+		}
+	}
+}
+
+// Property: bootstrap weights always sum to the original alignment length and
+// are non-negative.
+func TestPropertyBootstrapWeights(t *testing.T) {
+	aln, _ := ParsePhylip(strings.NewReader(samplePhylip))
+	pa, _ := Compress(aln)
+	f := func(seed int64) bool {
+		w := BootstrapWeights(pa, rand.New(rand.NewSource(seed)))
+		var sum float64
+		for _, x := range w {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		return sum == float64(pa.SiteLength)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapDeterministicPerSeed(t *testing.T) {
+	aln, _ := ParsePhylip(strings.NewReader(samplePhylip))
+	pa, _ := Compress(aln)
+	w1 := BootstrapWeights(pa, rand.New(rand.NewSource(11)))
+	w2 := BootstrapWeights(pa, rand.New(rand.NewSource(11)))
+	w3 := BootstrapWeights(pa, rand.New(rand.NewSource(12)))
+	same := true
+	diff := false
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			same = false
+		}
+		if w1[i] != w3[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Errorf("same seed should give the same bootstrap weights")
+	}
+	if !diff {
+		t.Errorf("different seeds should give different bootstrap weights")
+	}
+}

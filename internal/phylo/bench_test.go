@@ -1,0 +1,113 @@
+package phylo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchEngine builds a 42-taxon, 1167-site workload — the dimensions of the
+// paper's 42_SC input — so the kernel benchmarks measure the granularity the
+// paper's scheduler sees.
+func benchEngine(b *testing.B, cats RateCategories) (*Engine, *Tree) {
+	b.Helper()
+	_, aln, err := Simulate(SimulateOptions{Taxa: 42, Length: 1167, Seed: 42, MeanBranchLength: 0.08})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := Compress(aln)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(data, NewJC69(), cats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := NewRandomTree(data.Names, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, tree
+}
+
+// BenchmarkNewview measures one conditional-likelihood-vector update — the
+// paper's dominant off-loaded kernel (76.8% of sequential time).
+func BenchmarkNewview(b *testing.B) {
+	eng, tree := benchEngine(b, SingleRate())
+	eng.LogLikelihood(tree) // populate buffers
+	node := tree.Root.Children[0]
+	for node.IsTip() {
+		node = tree.Root.Children[1]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Newview(node)
+	}
+}
+
+// BenchmarkEvaluate measures one full log-likelihood evaluation (a post-order
+// newview sweep plus the root evaluation).
+func BenchmarkEvaluate(b *testing.B) {
+	eng, tree := benchEngine(b, SingleRate())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.LogLikelihood(tree)
+	}
+}
+
+// BenchmarkEvaluateGamma4 is the same with four discrete-Gamma rate
+// categories (the memory- and compute-heavier configuration real analyses
+// use).
+func BenchmarkEvaluateGamma4(b *testing.B) {
+	rates, err := DiscreteGamma(0.8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, tree := benchEngine(b, rates)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.LogLikelihood(tree)
+	}
+}
+
+// BenchmarkMakenewz measures one branch-length optimization (Newton-Raphson
+// on one edge), the paper's second hottest kernel.
+func BenchmarkMakenewz(b *testing.B) {
+	eng, tree := benchEngine(b, SingleRate())
+	edge := tree.Edges()[len(tree.Edges())/2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.OptimizeBranch(tree, edge)
+	}
+}
+
+// BenchmarkBootstrapResample measures drawing one bootstrap replicate's
+// weights.
+func BenchmarkBootstrapResample(b *testing.B) {
+	_, aln, _ := Simulate(SimulateOptions{Taxa: 42, Length: 1167, Seed: 2})
+	data, _ := Compress(aln)
+	rng := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BootstrapWeights(data, rng)
+	}
+}
+
+// BenchmarkSmallSearch measures a complete small tree search — the unit of
+// task-level parallelism in the native runtime benchmarks.
+func BenchmarkSmallSearch(b *testing.B) {
+	_, aln, _ := Simulate(SimulateOptions{Taxa: 8, Length: 300, Seed: 5, MeanBranchLength: 0.1})
+	data, _ := Compress(aln)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, _ := NewEngine(data, NewJC69(), SingleRate())
+		if _, err := eng.Search(SearchOptions{SmoothingRounds: 2, MaxRounds: 2, Epsilon: 0.05, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

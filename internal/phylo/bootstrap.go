@@ -1,0 +1,147 @@
+package phylo
+
+import (
+	"math/rand"
+)
+
+// BootstrapWeights draws one non-parametric bootstrap replicate: alignment
+// columns are resampled with replacement, which at the pattern level means
+// drawing SiteLength columns from the patterns with probabilities
+// proportional to their original weights. The returned slice sums to the
+// original alignment length.
+func BootstrapWeights(p *PatternAlignment, rng *rand.Rand) []float64 {
+	weights := make([]float64, p.NumPatterns())
+	total := p.TotalWeight()
+	if total == 0 {
+		return weights
+	}
+	// Cumulative distribution over patterns.
+	cum := make([]float64, p.NumPatterns())
+	var acc float64
+	for i, w := range p.Weights {
+		acc += w
+		cum[i] = acc
+	}
+	n := p.SiteLength
+	if n == 0 {
+		n = int(total)
+	}
+	for s := 0; s < n; s++ {
+		r := rng.Float64() * total
+		// Binary search for the pattern containing r.
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		weights[lo]++
+	}
+	return weights
+}
+
+// Bootstrap returns a pattern alignment whose weights are one bootstrap
+// resample of the original columns.
+func Bootstrap(p *PatternAlignment, rng *rand.Rand) (*PatternAlignment, error) {
+	return p.WithWeights(BootstrapWeights(p, rng))
+}
+
+// SupportValues computes, for every non-trivial bipartition of the reference
+// tree, the fraction of replicate trees that contain it — the bootstrap
+// support values a published RAxML analysis reports on the best-known tree.
+func SupportValues(reference *Tree, replicates []*Tree) map[string]float64 {
+	out := map[string]float64{}
+	refSplits := reference.Bipartitions()
+	if len(replicates) == 0 {
+		for s := range refSplits {
+			out[s] = 0
+		}
+		return out
+	}
+	counts := map[string]int{}
+	for _, rep := range replicates {
+		for s := range rep.Bipartitions() {
+			if refSplits[s] {
+				counts[s]++
+			}
+		}
+	}
+	for s := range refSplits {
+		out[s] = float64(counts[s]) / float64(len(replicates))
+	}
+	return out
+}
+
+// AnalysisOptions configures a full RAxML-style analysis: a number of
+// distinct maximum-likelihood searches on the original alignment plus a
+// number of bootstrap replicates.
+type AnalysisOptions struct {
+	Inferences int
+	Bootstraps int
+	Search     SearchOptions
+	Seed       int64
+}
+
+// AnalysisResult is the outcome of RunAnalysis.
+type AnalysisResult struct {
+	BestTree      *Tree
+	BestLogLik    float64
+	InferenceLogs []float64
+	Replicates    []*Tree
+	Support       map[string]float64
+}
+
+// RunAnalysis performs the analysis serially. The native runtime provides the
+// parallel version (each inference/bootstrap is an independent task, exactly
+// the task-level parallelism the paper exploits); this serial implementation
+// is the reference the parallel one is checked against.
+func RunAnalysis(data *PatternAlignment, model Model, rates RateCategories, opts AnalysisOptions) (*AnalysisResult, error) {
+	if opts.Inferences <= 0 {
+		opts.Inferences = 1
+	}
+	res := &AnalysisResult{BestLogLik: negInf()}
+	for i := 0; i < opts.Inferences; i++ {
+		eng, err := NewEngine(data, model, rates)
+		if err != nil {
+			return nil, err
+		}
+		so := opts.Search
+		so.Seed = opts.Seed + int64(i)
+		sr, err := eng.Search(so)
+		if err != nil {
+			return nil, err
+		}
+		res.InferenceLogs = append(res.InferenceLogs, sr.LogLikelihood)
+		if sr.LogLikelihood > res.BestLogLik {
+			res.BestLogLik = sr.LogLikelihood
+			res.BestTree = sr.Tree
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5deece66d))
+	for b := 0; b < opts.Bootstraps; b++ {
+		rep, err := Bootstrap(data, rng)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := NewEngine(rep, model, rates)
+		if err != nil {
+			return nil, err
+		}
+		so := opts.Search
+		so.Seed = opts.Seed + 1000 + int64(b)
+		sr, err := eng.Search(so)
+		if err != nil {
+			return nil, err
+		}
+		res.Replicates = append(res.Replicates, sr.Tree)
+	}
+	if res.BestTree != nil && len(res.Replicates) > 0 {
+		res.Support = SupportValues(res.BestTree, res.Replicates)
+	}
+	return res, nil
+}
+
+func negInf() float64 { return -1e308 }

@@ -1,0 +1,26 @@
+// Package phylo is a self-contained maximum-likelihood phylogenetics library:
+// the application substrate of the reproduction, standing in for RAxML-VI-HPC.
+//
+// It implements the pieces of RAxML that the paper's runtime system schedules:
+//
+//   - alignments of DNA sequences, with site-pattern compression and
+//     per-pattern weights (42 taxa x 1167 nucleotides compresses to the 228
+//     patterns the paper's parallel loops iterate over);
+//   - reversible nucleotide substitution models (Jukes-Cantor, HKY85 and GTR,
+//     the latter two through an eigendecomposition of the rate matrix) with
+//     optional discrete-Gamma rate heterogeneity;
+//   - the three likelihood kernels the paper off-loads to SPEs: Newview
+//     (conditional likelihood vectors via Felsenstein pruning), Evaluate
+//     (the log-likelihood at a branch) and Makenewz (Newton-Raphson branch
+//     length optimization);
+//   - a hill-climbing tree search (randomized stepwise addition followed by
+//     nearest-neighbour-interchange rounds), multiple inferences and
+//     non-parametric bootstrapping;
+//   - a sequence simulator used to generate synthetic alignments for tests,
+//     examples and benchmarks.
+//
+// Every per-pattern loop is expressed through a pluggable ParallelFor
+// executor, which is how the native runtime in package native work-shares the
+// loops across workers — the Go analogue of the paper's loop-level
+// parallelism across SPEs.
+package phylo

@@ -1,0 +1,494 @@
+package phylo
+
+import (
+	"fmt"
+	"math"
+)
+
+// ParallelFor executes body over the index range [0, n), possibly splitting
+// it into chunks that run concurrently. The body must be safe to run on
+// disjoint chunks in parallel. A nil ParallelFor means serial execution.
+//
+// This is the hook through which the native runtime work-shares the
+// per-pattern likelihood loops — the Go analogue of the paper's loop-level
+// parallelism across SPEs.
+type ParallelFor func(n int, body func(lo, hi int))
+
+// serialFor is the default executor.
+func serialFor(n int, body func(lo, hi int)) { body(0, n) }
+
+// Branch length bounds and Newton-Raphson parameters for Makenewz.
+const (
+	MinBranchLength = 1e-6
+	MaxBranchLength = 10.0
+	newtonMaxIter   = 32
+	newtonTolerance = 1e-8
+)
+
+// scalingThreshold triggers per-pattern rescaling of conditional likelihoods
+// to avoid underflow on large trees.
+const scalingThreshold = 1e-80
+
+// KernelStats counts invocations of the three likelihood kernels — the
+// functions the paper off-loads to SPEs. The native runtime and the workload
+// calibration read them.
+type KernelStats struct {
+	NewviewCalls  int
+	EvaluateCalls int
+	MakenewzCalls int
+}
+
+// Engine evaluates and optimizes the likelihood of trees over one
+// pattern-compressed alignment under one substitution model.
+//
+// An Engine is not safe for concurrent use by multiple goroutines; the
+// intended concurrency is one Engine per in-flight tree search (task-level
+// parallelism) with the per-pattern loops optionally work-shared through
+// ParallelFor (loop-level parallelism), mirroring the paper's two layers.
+type Engine struct {
+	Data  *PatternAlignment
+	Model Model
+	Rates RateCategories
+	Stats KernelStats
+
+	par    ParallelFor
+	nPat   int
+	nCat   int
+	stride int // nCat * NumStates values per pattern
+
+	tip       [][]float64 // per taxon: tip conditional likelihoods
+	down      [][]float64 // per node ID: subtree conditionals
+	downScale [][]float64 // per node ID: per-pattern log scalers
+	out       [][]float64 // per node ID: conditionals of everything outside the subtree
+	outScale  [][]float64
+	siteBuf   []float64 // per-pattern scratch for reductions
+}
+
+// NewEngine creates a likelihood engine for the alignment, model and rate
+// categories.
+func NewEngine(data *PatternAlignment, model Model, rates RateCategories) (*Engine, error) {
+	if data == nil || data.NumPatterns() == 0 {
+		return nil, fmt.Errorf("phylo: engine needs a non-empty pattern alignment")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("phylo: engine needs a model")
+	}
+	if rates.Count() == 0 {
+		rates = SingleRate()
+	}
+	e := &Engine{
+		Data:   data,
+		Model:  model,
+		Rates:  rates,
+		par:    serialFor,
+		nPat:   data.NumPatterns(),
+		nCat:   rates.Count(),
+		stride: rates.Count() * NumStates,
+	}
+	e.buildTipVectors()
+	return e, nil
+}
+
+// SetParallel installs a loop executor; nil restores serial execution.
+func (e *Engine) SetParallel(p ParallelFor) {
+	if p == nil {
+		p = serialFor
+	}
+	e.par = p
+}
+
+// NumPatterns returns the number of site patterns (the trip count of every
+// parallel loop; 228 for the paper's 42_SC input).
+func (e *Engine) NumPatterns() int { return e.nPat }
+
+func (e *Engine) buildTipVectors() {
+	e.tip = make([][]float64, e.Data.NumTaxa())
+	for taxon := range e.tip {
+		v := make([]float64, e.nPat*e.stride)
+		for i := 0; i < e.nPat; i++ {
+			bits := e.Data.States[taxon][i]
+			for r := 0; r < e.nCat; r++ {
+				base := i*e.stride + r*NumStates
+				for s := 0; s < NumStates; s++ {
+					if bits&(1<<uint(s)) != 0 {
+						v[base+s] = 1
+					}
+				}
+			}
+		}
+		e.tip[taxon] = v
+	}
+}
+
+// ensureBuffers sizes the per-node buffers for the tree.
+func (e *Engine) ensureBuffers(t *Tree) {
+	n := len(t.Nodes)
+	if len(e.down) >= n {
+		return
+	}
+	grow := func(bufs [][]float64, per int) [][]float64 {
+		for len(bufs) < n {
+			bufs = append(bufs, make([]float64, per))
+		}
+		return bufs
+	}
+	e.down = grow(e.down, e.nPat*e.stride)
+	e.downScale = grow(e.downScale, e.nPat)
+	e.out = grow(e.out, e.nPat*e.stride)
+	e.outScale = grow(e.outScale, e.nPat)
+}
+
+// transitionSet computes one probability matrix per rate category for a
+// branch of length b.
+func (e *Engine) transitionSet(b float64) []Matrix {
+	ps := make([]Matrix, e.nCat)
+	for r, rate := range e.Rates.Rates {
+		ps[r] = e.Model.Transition(b * rate)
+	}
+	return ps
+}
+
+// childVector returns the conditional likelihood vector and scaler slice of a
+// node viewed as a child (tips read the precomputed tip vectors).
+func (e *Engine) childVector(n *Node) ([]float64, []float64) {
+	if n.IsTip() {
+		return e.tip[n.Taxon], nil
+	}
+	return e.down[n.ID], e.downScale[n.ID]
+}
+
+// Newview computes the conditional likelihood vector of an internal node from
+// its two children — the paper's newview() kernel. The children's vectors
+// must already be up to date.
+func (e *Engine) Newview(n *Node) {
+	if n.IsTip() {
+		return
+	}
+	e.Stats.NewviewCalls++
+	left, right := n.Children[0], n.Children[1]
+	lv, lscale := e.childVector(left)
+	rv, rscale := e.childVector(right)
+	pl := e.transitionSet(left.Length)
+	pr := e.transitionSet(right.Length)
+	dst := e.down[n.ID]
+	scale := e.downScale[n.ID]
+
+	e.par(e.nPat, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * e.stride
+			maxV := 0.0
+			for r := 0; r < e.nCat; r++ {
+				off := base + r*NumStates
+				for s := 0; s < NumStates; s++ {
+					var sumL, sumR float64
+					for t := 0; t < NumStates; t++ {
+						sumL += pl[r][s][t] * lv[off+t]
+						sumR += pr[r][s][t] * rv[off+t]
+					}
+					v := sumL * sumR
+					dst[off+s] = v
+					if v > maxV {
+						maxV = v
+					}
+				}
+			}
+			sc := 0.0
+			if lscale != nil {
+				sc += lscale[i]
+			}
+			if rscale != nil {
+				sc += rscale[i]
+			}
+			// Rescale to avoid underflow on deep trees.
+			if maxV > 0 && maxV < scalingThreshold {
+				inv := 1 / maxV
+				for k := base; k < base+e.stride; k++ {
+					dst[k] *= inv
+				}
+				sc += math.Log(maxV)
+			}
+			scale[i] = sc
+		}
+	})
+}
+
+// computeDown refreshes every subtree conditional vector with a post-order
+// traversal.
+func (e *Engine) computeDown(t *Tree) {
+	e.ensureBuffers(t)
+	PostOrder(t.Root, func(n *Node) {
+		if !n.IsTip() {
+			e.Newview(n)
+		}
+	})
+}
+
+// computeOut refreshes, for every non-root node, the conditional likelihood
+// of all data outside its subtree (given the state at its parent), with a
+// pre-order traversal. computeDown must have run first.
+func (e *Engine) computeOut(t *Tree) {
+	freqs := e.Model.Frequencies()
+	PreOrder(t.Root, func(u *Node) {
+		for _, v := range u.Children {
+			sib := v.Sibling()
+			sv, sscale := e.childVector(sib)
+			psib := e.transitionSet(sib.Length)
+			dst := e.out[v.ID]
+			scale := e.outScale[v.ID]
+			var pup []Matrix
+			var uv []float64
+			var uscale []float64
+			if u.Parent != nil {
+				pup = e.transitionSet(u.Length)
+				uv = e.out[u.ID]
+				uscale = e.outScale[u.ID]
+			}
+			e.par(e.nPat, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					base := i * e.stride
+					maxV := 0.0
+					for r := 0; r < e.nCat; r++ {
+						off := base + r*NumStates
+						for s := 0; s < NumStates; s++ {
+							// Contribution of the sibling subtree, seen from u.
+							var sibSum float64
+							for tt := 0; tt < NumStates; tt++ {
+								sibSum += psib[r][s][tt] * sv[off+tt]
+							}
+							var rest float64
+							if u.Parent == nil {
+								// u is the root: the prior lives here.
+								rest = freqs[s]
+							} else {
+								// Everything outside u's subtree, folded from
+								// the grandparent down to u.
+								rest = 0
+								for sp := 0; sp < NumStates; sp++ {
+									rest += uv[off+sp] * pup[r][sp][s]
+								}
+							}
+							dst[off+s] = sibSum * rest
+							if dst[off+s] > maxV {
+								maxV = dst[off+s]
+							}
+						}
+					}
+					sc := 0.0
+					if sscale != nil {
+						sc += sscale[i]
+					}
+					if uscale != nil {
+						sc += uscale[i]
+					}
+					if maxV > 0 && maxV < scalingThreshold {
+						inv := 1 / maxV
+						for k := base; k < base+e.stride; k++ {
+							dst[k] *= inv
+						}
+						sc += math.Log(maxV)
+					}
+					scale[i] = sc
+				}
+			})
+		}
+	})
+}
+
+// Evaluate computes the log-likelihood of the tree at the root — the paper's
+// evaluate() kernel. computeDown must have run first.
+func (e *Engine) evaluateAtRoot(t *Tree) float64 {
+	e.Stats.EvaluateCalls++
+	freqs := e.Model.Frequencies()
+	root := t.Root
+	rootVec := e.down[root.ID]
+	rootScale := e.downScale[root.ID]
+	catWeight := 1.0 / float64(e.nCat)
+
+	// Per-pattern contributions are written to disjoint slots, so the loop is
+	// safe under any ParallelFor executor; the final reduction is serial,
+	// mirroring the master-side reduction of the paper's work-sharing scheme.
+	if cap(e.siteBuf) < e.nPat {
+		e.siteBuf = make([]float64, e.nPat)
+	}
+	site := e.siteBuf[:e.nPat]
+	e.par(e.nPat, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * e.stride
+			var siteL float64
+			for r := 0; r < e.nCat; r++ {
+				off := base + r*NumStates
+				for s := 0; s < NumStates; s++ {
+					siteL += freqs[s] * rootVec[off+s]
+				}
+			}
+			siteL *= catWeight
+			if siteL <= 0 {
+				siteL = math.SmallestNonzeroFloat64
+			}
+			site[i] = e.Data.Weights[i] * (math.Log(siteL) + rootScale[i])
+		}
+	})
+	var sum float64
+	for _, v := range site {
+		sum += v
+	}
+	return sum
+}
+
+// LogLikelihood fully recomputes and returns the log-likelihood of the tree.
+func (e *Engine) LogLikelihood(t *Tree) float64 {
+	e.computeDown(t)
+	return e.evaluateAtRoot(t)
+}
+
+// edgeDerivatives returns the log-likelihood and its first and second
+// derivatives with respect to the length of the edge above node v, using the
+// current down/out vectors.
+func (e *Engine) edgeDerivatives(v *Node, b float64) (ll, d1, d2 float64) {
+	dv, dscale := e.childVector(v)
+	ov := e.out[v.ID]
+	oscale := e.outScale[v.ID]
+	catWeight := 1.0 / float64(e.nCat)
+
+	p := make([]Matrix, e.nCat)
+	dp := make([]Matrix, e.nCat)
+	d2p := make([]Matrix, e.nCat)
+	for r, rate := range e.Rates.Rates {
+		pr, dpr, d2pr := e.Model.TransitionDeriv(b * rate)
+		p[r] = pr
+		// Chain rule: d/db exp(Q*rate*b) = rate * Q exp(...)
+		for i := 0; i < NumStates; i++ {
+			for j := 0; j < NumStates; j++ {
+				dpr[i][j] *= rate
+				d2pr[i][j] *= rate * rate
+			}
+		}
+		dp[r] = dpr
+		d2p[r] = d2pr
+	}
+
+	for i := 0; i < e.nPat; i++ {
+		base := i * e.stride
+		var l0, l1, l2 float64
+		for r := 0; r < e.nCat; r++ {
+			off := base + r*NumStates
+			for s := 0; s < NumStates; s++ {
+				os := ov[off+s]
+				if os == 0 {
+					continue
+				}
+				var s0, s1, s2 float64
+				for tt := 0; tt < NumStates; tt++ {
+					dvt := dv[off+tt]
+					s0 += p[r][s][tt] * dvt
+					s1 += dp[r][s][tt] * dvt
+					s2 += d2p[r][s][tt] * dvt
+				}
+				l0 += os * s0
+				l1 += os * s1
+				l2 += os * s2
+			}
+		}
+		l0 *= catWeight
+		l1 *= catWeight
+		l2 *= catWeight
+		if l0 <= 0 {
+			l0 = math.SmallestNonzeroFloat64
+		}
+		w := e.Data.Weights[i]
+		sc := 0.0
+		if dscale != nil {
+			sc += dscale[i]
+		}
+		sc += oscale[i]
+		ll += w * (math.Log(l0) + sc)
+		d1 += w * (l1 / l0)
+		d2 += w * ((l2*l0 - l1*l1) / (l0 * l0))
+	}
+	return ll, d1, d2
+}
+
+// Makenewz optimizes the length of the edge above node v with Newton-Raphson
+// iterations — the paper's makenewz() kernel. It requires up-to-date down and
+// out vectors (OptimizeAllBranches and OptimizeBranch arrange that) and
+// returns the optimized length.
+func (e *Engine) makenewz(v *Node) float64 {
+	e.Stats.MakenewzCalls++
+	b := v.Length
+	if b < MinBranchLength {
+		b = MinBranchLength
+	}
+	for iter := 0; iter < newtonMaxIter; iter++ {
+		_, d1, d2 := e.edgeDerivatives(v, b)
+		var step float64
+		if d2 < 0 {
+			step = -d1 / d2
+		} else {
+			// Not locally concave: take a damped gradient step.
+			step = math.Copysign(math.Min(0.1, math.Abs(d1)*1e-3), d1)
+		}
+		nb := b + step
+		if nb < MinBranchLength {
+			nb = MinBranchLength
+		}
+		if nb > MaxBranchLength {
+			nb = MaxBranchLength
+		}
+		if math.Abs(nb-b) < newtonTolerance {
+			b = nb
+			break
+		}
+		b = nb
+	}
+	return b
+}
+
+// optimizeEdge refreshes the conditional vectors and Newton-optimizes the
+// length of the edge above v, keeping the new length only if it genuinely
+// improves the likelihood (which, with fresh vectors, makes every accepted
+// update monotone). It reports whether the length changed materially.
+func (e *Engine) optimizeEdge(t *Tree, v *Node) bool {
+	e.computeDown(t)
+	e.computeOut(t)
+	before, _, _ := e.edgeDerivatives(v, v.Length)
+	old := v.Length
+	nb := e.makenewz(v)
+	after, _, _ := e.edgeDerivatives(v, nb)
+	if after <= before {
+		return false
+	}
+	v.Length = nb
+	return math.Abs(nb-old) > 1e-7
+}
+
+// OptimizeBranch optimizes a single branch length in the context of the
+// current tree and returns the new log-likelihood.
+func (e *Engine) OptimizeBranch(t *Tree, v *Node) float64 {
+	if v.Parent == nil {
+		return e.LogLikelihood(t)
+	}
+	e.optimizeEdge(t, v)
+	return e.LogLikelihood(t)
+}
+
+// OptimizeAllBranches performs the given number of smoothing rounds: each
+// round Newton-optimizes every branch once, refreshing the conditional
+// vectors before each edge so that every accepted update improves the
+// likelihood. It returns the final log-likelihood.
+func (e *Engine) OptimizeAllBranches(t *Tree, rounds int) float64 {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	for round := 0; round < rounds; round++ {
+		changed := false
+		for _, v := range t.Edges() {
+			if e.optimizeEdge(t, v) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return e.LogLikelihood(t)
+}

@@ -1,0 +1,119 @@
+package phylo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SearchOptions controls the hill-climbing tree search.
+type SearchOptions struct {
+	// SmoothingRounds is the number of branch-length smoothing passes after
+	// each accepted topology change.
+	SmoothingRounds int
+	// MaxRounds bounds the number of full NNI sweeps.
+	MaxRounds int
+	// Epsilon is the minimum log-likelihood improvement that counts as
+	// progress.
+	Epsilon float64
+	// Seed drives the randomized starting tree.
+	Seed int64
+}
+
+// DefaultSearchOptions returns the settings used by the examples and
+// benchmarks: a handful of smoothing rounds and NNI sweeps, which is enough
+// for the small-to-medium alignments this repository ships.
+func DefaultSearchOptions() SearchOptions {
+	return SearchOptions{
+		SmoothingRounds: 4,
+		MaxRounds:       8,
+		Epsilon:         0.01,
+		Seed:            1,
+	}
+}
+
+// SearchResult is the outcome of one tree search (one "inference" or one
+// bootstrap replicate in RAxML terminology).
+type SearchResult struct {
+	Tree          *Tree
+	LogLikelihood float64
+	StartLogLik   float64
+	NNIAccepted   int
+	NNIEvaluated  int
+	Rounds        int
+}
+
+// Search runs a randomized-starting-tree hill-climbing search: build a random
+// stepwise-addition tree, optimize its branch lengths, then repeatedly sweep
+// all nearest-neighbour interchanges, accepting improvements, until a sweep
+// yields none (or MaxRounds is reached).
+func (e *Engine) Search(opts SearchOptions) (*SearchResult, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tree, err := NewRandomTree(e.Data.Names, rng)
+	if err != nil {
+		return nil, err
+	}
+	return e.SearchFrom(tree, opts)
+}
+
+// SearchFrom runs the hill-climbing search from a given starting tree (which
+// is modified in place and returned in the result).
+func (e *Engine) SearchFrom(tree *Tree, opts SearchOptions) (*SearchResult, error) {
+	if opts.SmoothingRounds <= 0 {
+		opts.SmoothingRounds = 1
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 1
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("phylo: invalid starting tree: %v", err)
+	}
+	res := &SearchResult{Tree: tree}
+	best := e.OptimizeAllBranches(tree, opts.SmoothingRounds)
+	res.StartLogLik = best
+
+	// saveLengths/restoreLengths snapshot every branch length so that a
+	// rejected rearrangement leaves no trace: the candidate evaluation
+	// re-optimizes branch lengths, and keeping those for a reverted topology
+	// would poison subsequent comparisons.
+	saveLengths := func() []float64 {
+		out := make([]float64, len(tree.Nodes))
+		for i, n := range tree.Nodes {
+			out[i] = n.Length
+		}
+		return out
+	}
+	restoreLengths := func(saved []float64) {
+		for i, n := range tree.Nodes {
+			n.Length = saved[i]
+		}
+	}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		res.Rounds++
+		improvedThisRound := false
+		for _, move := range tree.NNIMoves() {
+			res.NNIEvaluated++
+			saved := saveLengths()
+			move.Apply()
+			// Candidates get the same smoothing budget as the incumbent so
+			// the comparison is fair; OptimizeAllBranches stops early once
+			// the branch lengths converge.
+			candidate := e.OptimizeAllBranches(tree, opts.SmoothingRounds)
+			if candidate > best+opts.Epsilon {
+				best = candidate
+				res.NNIAccepted++
+				improvedThisRound = true
+			} else {
+				move.Apply() // revert the topology...
+				restoreLengths(saved)
+			}
+		}
+		if !improvedThisRound {
+			break
+		}
+	}
+	// Final thorough smoothing.
+	best = e.OptimizeAllBranches(tree, opts.SmoothingRounds)
+	res.LogLikelihood = best
+	return res, nil
+}

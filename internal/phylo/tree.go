@@ -1,0 +1,477 @@
+package phylo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node is one vertex of a phylogenetic tree. Trees are stored rooted (the
+// root carries two children and no parent); because all models in this
+// package are time-reversible, the root placement does not affect the
+// likelihood and merely marks one edge of the underlying unrooted tree.
+type Node struct {
+	// ID indexes the node within Tree.Nodes and is stable across topology
+	// changes; likelihood buffers are keyed by it.
+	ID int
+	// Name is the taxon name for tips, empty for internal nodes.
+	Name string
+	// Taxon is the row index into the PatternAlignment for tips, -1 for
+	// internal nodes.
+	Taxon int
+	// Parent is nil for the root.
+	Parent *Node
+	// Children has two entries for internal nodes (including the root) and
+	// none for tips.
+	Children []*Node
+	// Length is the branch length (expected substitutions per site) of the
+	// edge to the parent; unused for the root.
+	Length float64
+}
+
+// IsTip reports whether the node is a leaf.
+func (n *Node) IsTip() bool { return len(n.Children) == 0 }
+
+// Sibling returns the other child of this node's parent, or nil for the root.
+func (n *Node) Sibling() *Node {
+	if n.Parent == nil {
+		return nil
+	}
+	for _, c := range n.Parent.Children {
+		if c != n {
+			return c
+		}
+	}
+	return nil
+}
+
+// replaceChild swaps child old for new in n's child list.
+func (n *Node) replaceChild(old, new *Node) {
+	for i, c := range n.Children {
+		if c == old {
+			n.Children[i] = new
+			return
+		}
+	}
+	panic("phylo: replaceChild: old child not found")
+}
+
+// Tree is a rooted binary phylogenetic tree over a fixed set of taxa.
+type Tree struct {
+	Root  *Node
+	Nodes []*Node // tips first (IDs 0..nTaxa-1), then internal nodes
+	Taxa  []string
+}
+
+// NumTaxa returns the number of tips.
+func (t *Tree) NumTaxa() int { return len(t.Taxa) }
+
+// Tips returns the leaf nodes in taxon order.
+func (t *Tree) Tips() []*Node { return t.Nodes[:len(t.Taxa)] }
+
+// Edges returns every node that has a parent; each represents one edge of
+// the tree (the edge to its parent).
+func (t *Tree) Edges() []*Node {
+	out := make([]*Node, 0, len(t.Nodes)-1)
+	for _, n := range t.Nodes {
+		if n.Parent != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// InternalEdges returns the edges whose both endpoints are internal nodes
+// (the edges around which NNI rearrangements are defined). Edges incident to
+// the root node are excluded, since the root is a placement artifact.
+func (t *Tree) InternalEdges() []*Node {
+	var out []*Node
+	for _, n := range t.Nodes {
+		if n.Parent != nil && !n.IsTip() && n.Parent != t.Root {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DefaultBranchLength is the starting branch length for new edges.
+const DefaultBranchLength = 0.1
+
+// NewRandomTree builds a random topology over the taxa by stepwise random
+// addition: taxa are joined in a random order, each new tip attached to a
+// uniformly chosen existing edge. This is the classic randomized starting
+// tree of maximum-likelihood searches.
+func NewRandomTree(taxa []string, rng *rand.Rand) (*Tree, error) {
+	n := len(taxa)
+	if n < 3 {
+		return nil, fmt.Errorf("phylo: need at least 3 taxa to build a tree, got %d", n)
+	}
+	t := &Tree{Taxa: append([]string(nil), taxa...)}
+	// Create tips.
+	for i, name := range taxa {
+		t.Nodes = append(t.Nodes, &Node{ID: i, Name: name, Taxon: i, Length: DefaultBranchLength})
+	}
+	nextID := n
+	newInternal := func() *Node {
+		node := &Node{ID: nextID, Taxon: -1, Length: DefaultBranchLength}
+		nextID++
+		t.Nodes = append(t.Nodes, node)
+		return node
+	}
+	// Random insertion order.
+	order := rng.Perm(n)
+	// Start with the first two tips joined at the root.
+	root := newInternal()
+	a, b := t.Nodes[order[0]], t.Nodes[order[1]]
+	root.Children = []*Node{a, b}
+	a.Parent, b.Parent = root, root
+	t.Root = root
+	// Insert the remaining tips at random edges.
+	for _, ti := range order[2:] {
+		tip := t.Nodes[ti]
+		edges := t.Edges()
+		target := edges[rng.Intn(len(edges))]
+		parent := target.Parent
+		mid := newInternal()
+		// Splice: parent -> mid -> {target, tip}.
+		mid.Parent = parent
+		mid.Length = target.Length / 2
+		target.Length /= 2
+		parent.replaceChild(target, mid)
+		target.Parent = mid
+		tip.Parent = mid
+		mid.Children = []*Node{target, tip}
+	}
+	return t, t.Validate()
+}
+
+// Validate checks structural invariants: binary internal nodes, consistent
+// parent/child pointers, every taxon present exactly once, positive branch
+// lengths.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("phylo: tree has no root")
+	}
+	if t.Root.Parent != nil {
+		return fmt.Errorf("phylo: root has a parent")
+	}
+	seenTips := map[string]bool{}
+	var walk func(n *Node) error
+	var visited int
+	walk = func(n *Node) error {
+		visited++
+		if n.IsTip() {
+			if n.Name == "" {
+				return fmt.Errorf("phylo: tip %d has no name", n.ID)
+			}
+			if seenTips[n.Name] {
+				return fmt.Errorf("phylo: taxon %q appears twice", n.Name)
+			}
+			seenTips[n.Name] = true
+			return nil
+		}
+		if len(n.Children) != 2 {
+			return fmt.Errorf("phylo: internal node %d has %d children, want 2", n.ID, len(n.Children))
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				return fmt.Errorf("phylo: node %d has a child with a mismatched parent pointer", n.ID)
+			}
+			if c.Length < 0 {
+				return fmt.Errorf("phylo: negative branch length on node %d", c.ID)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	if len(seenTips) != len(t.Taxa) {
+		return fmt.Errorf("phylo: tree covers %d taxa, want %d", len(seenTips), len(t.Taxa))
+	}
+	if visited != len(t.Nodes) {
+		return fmt.Errorf("phylo: %d nodes reachable from the root, %d allocated", visited, len(t.Nodes))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the tree (new Node objects, same IDs).
+func (t *Tree) Clone() *Tree {
+	cp := &Tree{Taxa: append([]string(nil), t.Taxa...)}
+	cp.Nodes = make([]*Node, len(t.Nodes))
+	for i, n := range t.Nodes {
+		cp.Nodes[i] = &Node{ID: n.ID, Name: n.Name, Taxon: n.Taxon, Length: n.Length}
+	}
+	for i, n := range t.Nodes {
+		c := cp.Nodes[i]
+		if n.Parent != nil {
+			c.Parent = cp.Nodes[n.Parent.ID]
+		}
+		for _, ch := range n.Children {
+			c.Children = append(c.Children, cp.Nodes[ch.ID])
+		}
+	}
+	cp.Root = cp.Nodes[t.Root.ID]
+	return cp
+}
+
+// PostOrder invokes fn on every node below-and-including n in post-order
+// (children before parents).
+func PostOrder(n *Node, fn func(*Node)) {
+	for _, c := range n.Children {
+		PostOrder(c, fn)
+	}
+	fn(n)
+}
+
+// PreOrder invokes fn on every node below-and-including n in pre-order
+// (parents before children).
+func PreOrder(n *Node, fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		PreOrder(c, fn)
+	}
+}
+
+// Newick renders the tree in Newick format with branch lengths.
+func (t *Tree) Newick() string {
+	var b strings.Builder
+	var write func(n *Node)
+	write = func(n *Node) {
+		if n.IsTip() {
+			b.WriteString(n.Name)
+		} else {
+			b.WriteByte('(')
+			for i, c := range n.Children {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				write(c)
+			}
+			b.WriteByte(')')
+		}
+		if n.Parent != nil {
+			fmt.Fprintf(&b, ":%.6f", n.Length)
+		}
+	}
+	write(t.Root)
+	b.WriteByte(';')
+	return b.String()
+}
+
+// ParseNewick parses a Newick string with branch lengths into a Tree. Only
+// binary trees (two children per internal node) are accepted, matching what
+// the rest of the package produces.
+func ParseNewick(s string) (*Tree, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasSuffix(s, ";") {
+		return nil, fmt.Errorf("phylo: newick string must end with ';'")
+	}
+	s = strings.TrimSuffix(s, ";")
+	t := &Tree{}
+	pos := 0
+	var nextInternalID int // assigned after parsing, tips get IDs first
+	var parse func() (*Node, error)
+	readLength := func(n *Node) error {
+		if pos < len(s) && s[pos] == ':' {
+			pos++
+			start := pos
+			for pos < len(s) && (s[pos] == '.' || s[pos] == '-' || s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' || (s[pos] >= '0' && s[pos] <= '9')) {
+				pos++
+			}
+			v, err := strconv.ParseFloat(s[start:pos], 64)
+			if err != nil {
+				return fmt.Errorf("phylo: bad branch length at %d: %v", start, err)
+			}
+			n.Length = v
+		}
+		return nil
+	}
+	parse = func() (*Node, error) {
+		if pos >= len(s) {
+			return nil, fmt.Errorf("phylo: unexpected end of newick string")
+		}
+		n := &Node{Taxon: -1, Length: DefaultBranchLength}
+		if s[pos] == '(' {
+			pos++
+			for {
+				child, err := parse()
+				if err != nil {
+					return nil, err
+				}
+				child.Parent = n
+				n.Children = append(n.Children, child)
+				if pos < len(s) && s[pos] == ',' {
+					pos++
+					continue
+				}
+				break
+			}
+			if pos >= len(s) || s[pos] != ')' {
+				return nil, fmt.Errorf("phylo: expected ')' at position %d", pos)
+			}
+			pos++
+		} else {
+			start := pos
+			for pos < len(s) && !strings.ContainsRune("(),:;", rune(s[pos])) {
+				pos++
+			}
+			n.Name = strings.TrimSpace(s[start:pos])
+			if n.Name == "" {
+				return nil, fmt.Errorf("phylo: empty taxon name at position %d", start)
+			}
+		}
+		if err := readLength(n); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	root, err := parse()
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(s) {
+		return nil, fmt.Errorf("phylo: trailing characters after newick tree: %q", s[pos:])
+	}
+	// Assign IDs: tips first in order of appearance, then internal nodes.
+	var tips, internal []*Node
+	PostOrder(root, func(n *Node) {
+		if n.IsTip() {
+			tips = append(tips, n)
+		} else {
+			if len(n.Children) != 2 {
+				err = fmt.Errorf("phylo: internal node with %d children; only binary trees are supported", len(n.Children))
+			}
+			internal = append(internal, n)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(tips, func(i, j int) bool { return tips[i].Name < tips[j].Name })
+	for i, tip := range tips {
+		tip.ID = i
+		tip.Taxon = i
+		t.Taxa = append(t.Taxa, tip.Name)
+		t.Nodes = append(t.Nodes, tip)
+	}
+	nextInternalID = len(tips)
+	for _, in := range internal {
+		in.ID = nextInternalID
+		nextInternalID++
+		t.Nodes = append(t.Nodes, in)
+	}
+	t.Root = root
+	return t, t.Validate()
+}
+
+// Bipartitions returns the set of non-trivial bipartitions (splits) induced
+// by the tree's internal edges, each encoded as a sorted, comma-joined list
+// of the taxon names on the child side (canonicalized to the smaller side
+// containing the lexicographically smallest taxon).
+func (t *Tree) Bipartitions() map[string]bool {
+	all := map[string]bool{}
+	for _, name := range t.Taxa {
+		all[name] = true
+	}
+	out := map[string]bool{}
+	for _, n := range t.Nodes {
+		if n.Parent == nil || n.IsTip() {
+			continue
+		}
+		var side []string
+		PostOrder(n, func(m *Node) {
+			if m.IsTip() {
+				side = append(side, m.Name)
+			}
+		})
+		if len(side) < 2 || len(side) > len(t.Taxa)-2 {
+			continue // trivial split
+		}
+		sort.Strings(side)
+		// Canonicalize: use the side that contains the overall smallest taxon.
+		smallest := t.Taxa[0]
+		for _, name := range t.Taxa {
+			if name < smallest {
+				smallest = name
+			}
+		}
+		contains := false
+		for _, name := range side {
+			if name == smallest {
+				contains = true
+				break
+			}
+		}
+		if !contains {
+			var other []string
+			inSide := map[string]bool{}
+			for _, name := range side {
+				inSide[name] = true
+			}
+			for name := range all {
+				if !inSide[name] {
+					other = append(other, name)
+				}
+			}
+			sort.Strings(other)
+			side = other
+		}
+		out[strings.Join(side, ",")] = true
+	}
+	return out
+}
+
+// RobinsonFoulds returns the Robinson-Foulds distance between two trees over
+// the same taxa: the number of bipartitions present in exactly one of them.
+func RobinsonFoulds(a, b *Tree) int {
+	ba := a.Bipartitions()
+	bb := b.Bipartitions()
+	d := 0
+	for s := range ba {
+		if !bb[s] {
+			d++
+		}
+	}
+	for s := range bb {
+		if !ba[s] {
+			d++
+		}
+	}
+	return d
+}
+
+// NNIMove describes one nearest-neighbour-interchange rearrangement around
+// the internal edge (Edge.Parent, Edge): the Edge's child with index
+// ChildIndex is swapped with Edge's sibling.
+type NNIMove struct {
+	Edge       *Node
+	ChildIndex int
+}
+
+// NNIMoves enumerates both NNI rearrangements around every internal edge.
+func (t *Tree) NNIMoves() []NNIMove {
+	var moves []NNIMove
+	for _, e := range t.InternalEdges() {
+		moves = append(moves, NNIMove{Edge: e, ChildIndex: 0}, NNIMove{Edge: e, ChildIndex: 1})
+	}
+	return moves
+}
+
+// Apply performs the rearrangement. Applying the same move again undoes it.
+func (m NNIMove) Apply() {
+	edge := m.Edge
+	parent := edge.Parent
+	sibling := edge.Sibling()
+	child := edge.Children[m.ChildIndex]
+	// Swap child <-> sibling.
+	parent.replaceChild(sibling, child)
+	edge.replaceChild(child, sibling)
+	child.Parent = parent
+	sibling.Parent = edge
+}

@@ -1,0 +1,94 @@
+package policy
+
+import "fmt"
+
+// SPEAllocator tracks which SPEs are free and hands them out either one at a
+// time (EDTLP) or in contiguous groups for loop work-sharing (LLP). It is
+// deliberately simple bookkeeping shared by the simulator-backed schedulers
+// and the native runtime; all blocking/waiting is the caller's concern.
+type SPEAllocator struct {
+	free []bool
+	n    int
+}
+
+// NewSPEAllocator creates an allocator for n SPEs, all initially free.
+func NewSPEAllocator(n int) *SPEAllocator {
+	if n <= 0 {
+		panic("policy: allocator needs at least one SPE")
+	}
+	a := &SPEAllocator{free: make([]bool, n), n: n}
+	for i := range a.free {
+		a.free[i] = true
+	}
+	return a
+}
+
+// Size returns the number of SPEs managed.
+func (a *SPEAllocator) Size() int { return a.n }
+
+// FreeCount returns how many SPEs are currently free.
+func (a *SPEAllocator) FreeCount() int {
+	c := 0
+	for _, f := range a.free {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// IsFree reports whether the SPE with the given index is free.
+func (a *SPEAllocator) IsFree(i int) bool { return a.free[i] }
+
+// AcquireOne claims the lowest-indexed free SPE, reporting failure when all
+// are busy.
+func (a *SPEAllocator) AcquireOne() (int, bool) {
+	for i, f := range a.free {
+		if f {
+			a.free[i] = false
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// AcquireGroup claims k free SPEs (the lowest-indexed ones available),
+// returning their indices with the first element intended as the loop master.
+// It fails without claiming anything if fewer than k SPEs are free.
+func (a *SPEAllocator) AcquireGroup(k int) ([]int, bool) {
+	if k <= 0 {
+		return nil, false
+	}
+	if a.FreeCount() < k {
+		return nil, false
+	}
+	out := make([]int, 0, k)
+	for i, f := range a.free {
+		if f {
+			a.free[i] = false
+			out = append(out, i)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out, true
+}
+
+// Release returns a single SPE to the free pool.
+func (a *SPEAllocator) Release(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("policy: releasing SPE %d outside [0,%d)", i, a.n))
+	}
+	if a.free[i] {
+		panic(fmt.Sprintf("policy: double release of SPE %d", i))
+	}
+	a.free[i] = true
+}
+
+// ReleaseGroup returns a group of SPEs to the free pool.
+func (a *SPEAllocator) ReleaseGroup(ids []int) {
+	for _, i := range ids {
+		a.Release(i)
+	}
+}

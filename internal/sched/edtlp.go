@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"fmt"
+
+	"cellmg/internal/cellsim"
+	"cellmg/internal/policy"
+	"cellmg/internal/sim"
+	"cellmg/internal/workload"
+)
+
+// spawnEventDriven creates one simulated process per bootstrap, scheduled by
+// the user-level event-driven scheduler: a process holds a PPE hardware
+// context only while it executes PPE code, and voluntarily switches away
+// (1.5 us) whenever it off-loads a task, so that other MPI processes can feed
+// the remaining SPEs. This is the EDTLP execution model; the static hybrid
+// and MGPS schedulers reuse it and differ only in the Decision that governs
+// how many SPEs each off-loaded task receives.
+func (r *run) spawnEventDriven() {
+	procs := r.opt.Workload.Job(r.opt.Bootstraps)
+	for _, p := range procs {
+		cr := r.cellFor(p.ID)
+		cr.assigned++
+		cr.unfinished++
+	}
+	for _, p := range procs {
+		proc := p
+		cr := r.cellFor(p.ID)
+		r.eng.Spawn(fmt.Sprintf("mpi-%d", p.ID), func(sp *sim.Proc) {
+			cr.runEventDriven(sp, proc)
+			r.finish[proc.ID] = sim.Duration(sp.Now())
+		})
+	}
+}
+
+// decision returns the parallelization mode in force for the next off-load.
+func (c *cellRun) decision() policy.Decision {
+	if c.mgps != nil {
+		return c.mgps.Current()
+	}
+	return c.static
+}
+
+// oversubscribed reports whether more MPI processes are multiplexed on this
+// Cell's PPE than it has hardware contexts, i.e. whether the user-level
+// scheduler actually has to switch between them.
+func (c *cellRun) oversubscribed() bool {
+	return c.assigned > c.cell.PPE.Contexts()
+}
+
+// acquireSPEs claims the SPEs the current decision calls for, blocking until
+// they are available. The caller must not hold a PPE context (the EDTLP
+// scheduler blocks only SPE-side work, never a PPE hardware thread). The
+// decision is re-read after every wait so that an MGPS mode switch takes
+// effect immediately for queued off-loads.
+func (c *cellRun) acquireSPEs(sp *sim.Proc) []*cellsim.SPE {
+	for {
+		dec := c.decision()
+		want := 1
+		if dec.UseLLP {
+			want = dec.SPEsPerLoop
+			if want > c.alloc.Size() {
+				want = c.alloc.Size()
+			}
+		}
+		var ids []int
+		var ok bool
+		if want <= 1 {
+			var id int
+			id, ok = c.alloc.AcquireOne()
+			ids = []int{id}
+		} else {
+			ids, ok = c.alloc.AcquireGroup(want)
+		}
+		if ok {
+			spes := make([]*cellsim.SPE, len(ids))
+			for i, id := range ids {
+				spes[i] = c.cell.SPEs[id]
+			}
+			return spes
+		}
+		c.speFree.Wait(sp)
+	}
+}
+
+// releaseSPEs returns the SPEs of a completed off-load and wakes processes
+// waiting for SPEs.
+func (c *cellRun) releaseSPEs(spes []*cellsim.SPE) {
+	for _, s := range spes {
+		c.alloc.Release(s.Index)
+	}
+	c.speFree.Notify()
+}
+
+// runEventDriven executes one bootstrap process under the event-driven
+// user-level scheduler.
+func (c *cellRun) runEventDriven(sp *sim.Proc, proc *workload.Process) {
+	ppe := c.cell.PPE
+	cost := c.parent.machine.Cost
+	rt := c.parent.rt
+
+	// Under the static EDTLP-LLP scheme each process binds its SPE group for
+	// its entire lifetime before touching the PPE (binding first avoids
+	// holding a PPE context while waiting for SPEs, which could starve the
+	// processes that already own groups).
+	var bound []*cellsim.SPE
+	if c.persistentGroups {
+		bound = c.acquireSPEs(sp)
+	}
+
+	holding := false
+	first := true
+	acquire := func() {
+		if !holding {
+			ppe.AcquireContext(sp)
+			holding = true
+			// Resuming after having been switched out costs cold caches and
+			// TLBs when the PPE is oversubscribed with more MPI processes
+			// than hardware contexts.
+			if !first && c.oversubscribed() {
+				ppe.Resume(sp)
+			}
+			first = false
+		}
+	}
+	release := func(chargeSwitch bool) {
+		if holding {
+			if chargeSwitch && c.oversubscribed() {
+				ppe.ContextSwitch(sp)
+			}
+			ppe.ReleaseContext()
+			holding = false
+		}
+	}
+
+	acquire()
+	for _, step := range proc.Steps {
+		switch step.Kind {
+		case workload.PPECompute:
+			acquire()
+			ppe.Compute(sp, step.Duration)
+
+		case workload.OffloadCall:
+			acquire()
+			// Granularity test: tasks too fine to be worth shipping run on
+			// the PPE instead (the runtime keeps PPE versions of every
+			// off-loadable function for exactly this purpose).
+			if !rt.GranularityOK(step.Fn, true) {
+				ppe.Compute(sp, rt.RunOnPPE(step.Fn, step.Scale))
+				continue
+			}
+			// The off-load request: the scheduler charges the signalling
+			// cost on the PPE side, then switches to another MPI process
+			// while the SPEs work.
+			ppe.Compute(sp, cost.PPEToSPESignal)
+			release(true)
+
+			spes := bound
+			if spes == nil {
+				spes = c.acquireSPEs(sp)
+			}
+			dec := c.decision()
+			var done *sim.Signal
+			if (dec.UseLLP || c.persistentGroups) && len(spes) > 1 {
+				done = rt.OffloadWorkShared(spes[0], spes[1:], step.Fn, step.Scale)
+			} else {
+				done = rt.OffloadSerial(spes[0], step.Fn, step.Scale)
+			}
+			if c.mgps != nil {
+				c.mgps.RecordOffload(proc.ID, spes[0].Global)
+			}
+			done.Wait(sp)
+			if bound == nil {
+				c.releaseSPEs(spes)
+			}
+			if c.mgps != nil {
+				c.mgps.RecordCompletion(proc.ID, c.unfinished)
+			}
+		}
+	}
+	release(false)
+	if bound != nil {
+		c.releaseSPEs(bound)
+	}
+	c.unfinished--
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"cellmg/internal/trace"
+	"cellmg/internal/workload"
+)
+
+func TestTraceHookReceivesActivity(t *testing.T) {
+	cfg := workload.RAxML42SC()
+	cfg.CallsPerBootstrap = 20
+	tl := trace.New()
+	res := RunEDTLP(Options{Workload: cfg, Bootstraps: 2, Trace: tl.Record})
+	if res.PaperSeconds <= 0 {
+		t.Fatalf("run produced no result")
+	}
+	if tl.Len() == 0 {
+		t.Fatalf("trace hook received no intervals")
+	}
+	comps := strings.Join(tl.Components(), " ")
+	if !strings.Contains(comps, "cell0.spe0") || !strings.Contains(comps, "cell0.ppe") {
+		t.Errorf("trace components = %v", tl.Components())
+	}
+	// The traced SPE busy time must be consistent with the reported mean
+	// utilization (same machine, same run).
+	if tl.Utilization("cell0.spe0") <= 0 {
+		t.Errorf("SPE0 should show activity in the trace")
+	}
+}
+
+func TestTraceGanttRendersAllSchedulers(t *testing.T) {
+	cfg := workload.RAxML42SC()
+	cfg.CallsPerBootstrap = 30
+	opt := Options{Workload: cfg, Bootstraps: 2, SPEsPerLoop: 4}
+	for _, s := range []string{"ppe-only", "linux", "edtlp", "hybrid", "mgps"} {
+		out := TraceGantt(opt, s, 60)
+		if !strings.Contains(out, "activity chart") {
+			t.Errorf("%s: missing header:\n%s", s, out)
+		}
+		if !strings.Contains(out, "cell0.ppe") {
+			t.Errorf("%s: missing PPE lane", s)
+		}
+		if s != "ppe-only" && !strings.Contains(out, "cell0.spe0") {
+			t.Errorf("%s: missing SPE lane", s)
+		}
+	}
+	if out := TraceGantt(opt, "nonsense", 60); !strings.Contains(out, "unknown scheduler") {
+		t.Errorf("unknown scheduler should be reported, got:\n%s", out)
+	}
+}
+
+func TestHybridGanttShowsWiderSPEUsageThanEDTLP(t *testing.T) {
+	// With 2 bootstraps, EDTLP keeps only 2 SPEs busy while the 4-wide hybrid
+	// keeps 8 busy; the traces should reflect that.
+	cfg := workload.RAxML42SC()
+	cfg.CallsPerBootstrap = 30
+	count := func(scheduler string) int {
+		tl := trace.New()
+		opt := Options{Workload: cfg, Bootstraps: 2, SPEsPerLoop: 4, Trace: tl.Record}
+		if scheduler == "edtlp" {
+			RunEDTLP(opt)
+		} else {
+			RunStaticHybrid(opt)
+		}
+		busy := 0
+		for _, c := range tl.Components() {
+			if strings.Contains(c, "spe") && tl.BusyTime(c) > 0 {
+				busy++
+			}
+		}
+		return busy
+	}
+	edtlpSPEs := count("edtlp")
+	hybridSPEs := count("hybrid")
+	if edtlpSPEs != 2 {
+		t.Errorf("EDTLP with 2 bootstraps should keep exactly 2 SPEs busy, got %d", edtlpSPEs)
+	}
+	if hybridSPEs != 8 {
+		t.Errorf("EDTLP-LLP(4) with 2 bootstraps should keep all 8 SPEs busy, got %d", hybridSPEs)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventDispatch measures the raw cost of one timed event
+// (schedule + context hand-off), the unit everything in cellsim and sched is
+// built from.
+func BenchmarkEventDispatch(b *testing.B) {
+	eng := NewEngine()
+	eng.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkQueueHandoff measures a producer/consumer hand-off through a
+// simulated queue (two process wake-ups per item).
+func BenchmarkQueueHandoff(b *testing.B) {
+	eng := NewEngine()
+	q := NewQueue[int](eng, "bench")
+	eng.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(i)
+			p.Delay(Nanosecond)
+		}
+	})
+	eng.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkResourceContention measures acquire/release cycles on a contended
+// resource with four processes sharing two slots.
+func BenchmarkResourceContention(b *testing.B) {
+	eng := NewEngine()
+	res := NewResource(eng, "bench", 2)
+	per := b.N/4 + 1
+	for i := 0; i < 4; i++ {
+		eng.Spawn("user", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				res.Use(p, 1, Nanosecond)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run()
+}

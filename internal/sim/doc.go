@@ -1,0 +1,35 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// The engine advances a virtual clock and executes simulated processes.
+// Each process runs in its own goroutine, but the engine guarantees that at
+// most one process executes at any instant: a process runs until it blocks on
+// a simulation primitive (Delay, Queue.Get, Resource.Acquire, Signal.Wait,
+// ...), at which point control returns to the engine, which advances the
+// clock to the next pending event and resumes the corresponding process.
+// Events scheduled for the same virtual time are dispatched in FIFO order of
+// their creation, and all waiter queues are FIFO, so a simulation given the
+// same inputs always produces exactly the same schedule.
+//
+// The package is the substrate for the Cell Broadband Engine machine model in
+// package cellsim and the scheduler models in package sched, but it is fully
+// generic: nothing in it knows about processors or schedulers.
+//
+// Typical use:
+//
+//	eng := sim.NewEngine()
+//	done := sim.NewSignal(eng)
+//	eng.Spawn("worker", func(p *sim.Proc) {
+//		p.Delay(5 * sim.Microsecond)
+//		done.Fire()
+//	})
+//	eng.Spawn("waiter", func(p *sim.Proc) {
+//		done.Wait(p)
+//		fmt.Println("finished at", p.Now())
+//	})
+//	eng.Run()
+//
+// Callbacks registered with Engine.At or Engine.After run inline inside the
+// engine loop and therefore must not block on simulation primitives; they may
+// freely wake processes, fire signals, release resources, or push to queues.
+package sim

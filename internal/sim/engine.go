@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is an absolute instant of virtual time, measured in nanoseconds from
+// the start of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration but is kept as a distinct type so that simulated time can
+// never be confused with wall-clock time.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds returns the duration as a floating point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.6gs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.6gus", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds returns the instant as a floating point number of seconds since the
+// start of the simulation.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the instant shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed between u and t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// DurationOf converts a floating point number of seconds to a Duration,
+// rounding to the nearest nanosecond.
+func DurationOf(seconds float64) Duration {
+	return Duration(math.Round(seconds * float64(Second)))
+}
+
+// event is a single entry in the engine's pending-event queue.
+type event struct {
+	at        Time
+	seq       uint64
+	proc      *Proc  // process to resume (nil for callback events)
+	fn        func() // callback to run inline (nil for process events)
+	cancelled bool
+	index     int // heap index, -1 when not queued
+}
+
+// EventHandle identifies a scheduled callback or wake-up and allows it to be
+// cancelled before it fires.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op. Cancel reports whether the
+// event was still pending.
+func (h EventHandle) Cancel() bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.index < 0 {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the event has not yet fired nor been cancelled.
+func (h EventHandle) Pending() bool {
+	return h.ev != nil && !h.ev.cancelled && h.ev.index >= 0
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock, the event queue and all simulated processes.
+// An Engine must be created with NewEngine and is not safe for concurrent use
+// from multiple host goroutines: all interaction is expected to happen either
+// before Run is called or from within simulated processes and callbacks.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	yield  chan struct{} // signalled by the running process when it blocks or exits
+	procs  []*Proc
+	live   int
+	nextID int
+	closed bool
+
+	// Tracing hook; when non-nil it is invoked for every dispatched event.
+	// Used by tests and by the trace package.
+	OnDispatch func(t Time, p *Proc)
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// schedule enqueues an event at the given absolute time and returns it.
+func (e *Engine) schedule(at Time, p *Proc, fn func()) *event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (at=%v now=%v)", at, e.now))
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, proc: p, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At schedules fn to run inline at the absolute virtual time t. The callback
+// must not block on simulation primitives.
+func (e *Engine) At(t Time, fn func()) EventHandle {
+	return EventHandle{ev: e.schedule(t, nil, fn)}
+}
+
+// After schedules fn to run inline d after the current time.
+func (e *Engine) After(d Duration, fn func()) EventHandle {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Spawn creates a new process executing fn. The process starts at the current
+// virtual time, after all previously scheduled events for this instant.
+// Spawn may be called before Run (the process then starts at time zero) or at
+// any point during the simulation, including from other processes and
+// callbacks.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Spawn after engine shut down")
+	}
+	e.nextID++
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		id:     e.nextID,
+		resume: make(chan struct{}),
+		state:  stateNew,
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	e.schedule(e.now, p, nil)
+	go p.run(fn)
+	return p
+}
+
+// wake schedules p to resume at the current virtual time (FIFO after events
+// already scheduled for this instant). It is the mechanism used by queues,
+// resources and signals to hand control back to a blocked process.
+func (e *Engine) wake(p *Proc, reason any) {
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("sim: waking process %q which is not blocked (state=%d)", p.name, p.state))
+	}
+	p.state = stateReady
+	p.wakeReason = reason
+	e.schedule(e.now, p, nil)
+}
+
+// wakeAt schedules p to resume at the absolute time t.
+func (e *Engine) wakeAt(t Time, p *Proc, reason any) EventHandle {
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("sim: waking process %q which is not blocked (state=%d)", p.name, p.state))
+	}
+	p.state = stateReady
+	p.wakeReason = reason
+	return EventHandle{ev: e.schedule(t, p, nil)}
+}
+
+// Run executes events until the queue drains or every process has terminated.
+// It returns the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps not exceeding limit. If the event
+// queue drains earlier, the clock stops at the last dispatched event;
+// otherwise the clock is left at limit.
+func (e *Engine) RunUntil(limit Time) Time {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.at > limit {
+			e.now = limit
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.proc != nil:
+			p := ev.proc
+			if p.state == stateDone {
+				continue
+			}
+			if e.OnDispatch != nil {
+				e.OnDispatch(e.now, p)
+			}
+			p.state = stateRunning
+			p.resume <- struct{}{}
+			<-e.yield
+		}
+	}
+	return e.now
+}
+
+// Quiesced reports whether the simulation has no pending events. If processes
+// are still alive at quiescence they are deadlocked (blocked forever).
+func (e *Engine) Quiesced() bool { return len(e.queue) == 0 }
+
+// Blocked returns the names of processes that are still blocked, sorted.
+// After Run returns, a non-empty result indicates a deadlock or processes
+// waiting on external stimulus that never arrived; tests use this to assert a
+// clean shutdown.
+func (e *Engine) Blocked() []string {
+	var names []string
+	for _, p := range e.procs {
+		if p.state == stateBlocked || p.state == stateReady {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Live returns the number of processes that have been spawned and have not
+// yet terminated.
+func (e *Engine) Live() int { return e.live }

@@ -1,0 +1,431 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFODelivery(t *testing.T) {
+	eng := NewEngine()
+	q := NewQueue[int](eng, "q")
+	var got []int
+	eng.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(i)
+			p.Delay(Microsecond)
+		}
+	})
+	eng.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want [0 1 2 3 4]", got)
+		}
+	}
+}
+
+func TestQueueWaitersServedInOrder(t *testing.T) {
+	eng := NewEngine()
+	q := NewQueue[string](eng, "q")
+	var winners []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		eng.Spawn(name, func(p *Proc) {
+			v := q.Get(p)
+			winners = append(winners, name+":"+v)
+		})
+	}
+	eng.Spawn("producer", func(p *Proc) {
+		p.Delay(Microsecond)
+		q.Put("x")
+		q.Put("y")
+		q.Put("z")
+	})
+	eng.Run()
+	want := []string{"first:x", "second:y", "third:z"}
+	for i := range want {
+		if winners[i] != want[i] {
+			t.Fatalf("winners = %v, want %v", winners, want)
+		}
+	}
+}
+
+func TestQueuePutFront(t *testing.T) {
+	eng := NewEngine()
+	q := NewQueue[int](eng, "q")
+	q.Put(1)
+	q.Put(2)
+	q.PutFront(0)
+	var got []int
+	eng.Spawn("c", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	eng.Run()
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("got %v, want [0 1 2]", got)
+	}
+}
+
+func TestQueueTryGetAndDrainAndRemove(t *testing.T) {
+	eng := NewEngine()
+	q := NewQueue[int](eng, "q")
+	if _, ok := q.TryGet(); ok {
+		t.Fatalf("TryGet on empty queue should fail")
+	}
+	q.Put(10)
+	q.Put(20)
+	q.Put(30)
+	if v, ok := q.Remove(func(x int) bool { return x == 20 }); !ok || v != 20 {
+		t.Fatalf("Remove(20) = %v, %v", v, ok)
+	}
+	if _, ok := q.Remove(func(x int) bool { return x == 99 }); ok {
+		t.Fatalf("Remove of missing element should fail")
+	}
+	if v, ok := q.TryGet(); !ok || v != 10 {
+		t.Fatalf("TryGet = %v, %v, want 10", v, ok)
+	}
+	rest := q.Drain()
+	if len(rest) != 1 || rest[0] != 30 {
+		t.Fatalf("Drain = %v, want [30]", rest)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue should be empty after drain")
+	}
+}
+
+func TestQueueGetTimeoutExpires(t *testing.T) {
+	eng := NewEngine()
+	q := NewQueue[int](eng, "q")
+	var ok bool
+	var at Time
+	eng.Spawn("c", func(p *Proc) {
+		_, ok = q.GetTimeout(p, 50*Microsecond)
+		at = p.Now()
+	})
+	eng.Run()
+	if ok {
+		t.Errorf("timeout get should have failed")
+	}
+	if at != Time(50*Microsecond) {
+		t.Errorf("timed out at %v, want 50us", at)
+	}
+}
+
+func TestQueueGetTimeoutDelivers(t *testing.T) {
+	eng := NewEngine()
+	q := NewQueue[int](eng, "q")
+	var v int
+	var ok bool
+	eng.Spawn("c", func(p *Proc) { v, ok = q.GetTimeout(p, 50*Microsecond) })
+	eng.Spawn("p", func(p *Proc) {
+		p.Delay(10 * Microsecond)
+		q.Put(7)
+	})
+	final := eng.Run()
+	if !ok || v != 7 {
+		t.Errorf("GetTimeout = %v, %v, want 7, true", v, ok)
+	}
+	if final != Time(10*Microsecond) {
+		t.Errorf("simulation ended at %v, want 10us (timeout event should be cancelled)", final)
+	}
+}
+
+func TestQueueTimeoutThenLaterPut(t *testing.T) {
+	// After a timeout, the stale waiter entry must not steal a later item.
+	eng := NewEngine()
+	q := NewQueue[int](eng, "q")
+	var timedOut bool
+	var received int
+	eng.Spawn("impatient", func(p *Proc) {
+		_, ok := q.GetTimeout(p, 5*Microsecond)
+		timedOut = !ok
+	})
+	eng.Spawn("patient", func(p *Proc) {
+		p.Delay(6 * Microsecond)
+		received = q.Get(p)
+	})
+	eng.Spawn("producer", func(p *Proc) {
+		p.Delay(20 * Microsecond)
+		q.Put(42)
+	})
+	eng.Run()
+	if !timedOut {
+		t.Errorf("impatient consumer should have timed out")
+	}
+	if received != 42 {
+		t.Errorf("patient consumer received %d, want 42", received)
+	}
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	eng := NewEngine()
+	res := NewResource(eng, "cpu", 2)
+	inUse, maxInUse := 0, 0
+	for i := 0; i < 6; i++ {
+		eng.Spawn("user", func(p *Proc) {
+			res.Acquire(p, 1)
+			inUse++
+			if inUse > maxInUse {
+				maxInUse = inUse
+			}
+			p.Delay(10 * Microsecond)
+			inUse--
+			res.Release(1)
+		})
+	}
+	final := eng.Run()
+	if maxInUse != 2 {
+		t.Errorf("max concurrent holders = %d, want 2", maxInUse)
+	}
+	if final != Time(30*Microsecond) {
+		t.Errorf("6 jobs of 10us on 2 servers finished at %v, want 30us", final)
+	}
+}
+
+func TestResourceFIFONoStarvation(t *testing.T) {
+	eng := NewEngine()
+	res := NewResource(eng, "bus", 4)
+	var order []string
+	eng.Spawn("hog", func(p *Proc) {
+		res.Acquire(p, 4)
+		p.Delay(10 * Microsecond)
+		res.Release(4)
+	})
+	eng.Spawn("big", func(p *Proc) {
+		p.Delay(Microsecond)
+		res.Acquire(p, 3)
+		order = append(order, "big")
+		p.Delay(5 * Microsecond)
+		res.Release(3)
+	})
+	eng.Spawn("small", func(p *Proc) {
+		p.Delay(2 * Microsecond)
+		res.Acquire(p, 1)
+		order = append(order, "small")
+		p.Delay(Microsecond)
+		res.Release(1)
+	})
+	eng.Run()
+	if len(order) != 2 || order[0] != "big" {
+		t.Errorf("order = %v; FIFO admission should let the earlier large request in first", order)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	eng := NewEngine()
+	res := NewResource(eng, "r", 2)
+	if !res.TryAcquire(2) {
+		t.Fatalf("TryAcquire(2) on an idle resource should succeed")
+	}
+	if res.TryAcquire(1) {
+		t.Fatalf("TryAcquire beyond capacity should fail")
+	}
+	res.Release(1)
+	if res.Available() != 1 {
+		t.Fatalf("available = %d, want 1", res.Available())
+	}
+	if !res.TryAcquire(1) {
+		t.Fatalf("TryAcquire(1) should succeed after release")
+	}
+	res.Release(2)
+}
+
+func TestResourceUtilization(t *testing.T) {
+	eng := NewEngine()
+	res := NewResource(eng, "r", 1)
+	eng.Spawn("u", func(p *Proc) {
+		res.Use(p, 1, 30*Microsecond)
+		p.Sleep(10 * Microsecond)
+	})
+	eng.Run()
+	util := res.Utilization()
+	if util < 0.74 || util > 0.76 {
+		t.Errorf("utilization = %.3f, want 0.75", util)
+	}
+}
+
+func TestResourceZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewResource with zero capacity should panic")
+		}
+	}()
+	NewResource(NewEngine(), "r", 0)
+}
+
+func TestSignalBroadcastAndLatch(t *testing.T) {
+	eng := NewEngine()
+	sig := NewSignal(eng)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		eng.Spawn("waiter", func(p *Proc) {
+			sig.Wait(p)
+			woken++
+		})
+	}
+	eng.Spawn("firer", func(p *Proc) {
+		p.Delay(5 * Microsecond)
+		sig.FireValue("done")
+		sig.Fire() // second fire is a no-op
+	})
+	// A late waiter must pass straight through.
+	eng.Spawn("late", func(p *Proc) {
+		p.Delay(20 * Microsecond)
+		if v := sig.Wait(p); v != "done" {
+			t.Errorf("late waiter saw value %v, want done", v)
+		}
+		woken++
+	})
+	eng.Run()
+	if woken != 4 {
+		t.Errorf("woken = %d, want 4", woken)
+	}
+	if !sig.Fired() || sig.Value() != "done" {
+		t.Errorf("signal state fired=%v value=%v", sig.Fired(), sig.Value())
+	}
+}
+
+func TestConditionNotifyAllAndOne(t *testing.T) {
+	eng := NewEngine()
+	cond := NewCondition(eng)
+	var woken []int
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.Spawn("w", func(p *Proc) {
+			cond.Wait(p)
+			woken = append(woken, i)
+		})
+	}
+	eng.Spawn("notifier", func(p *Proc) {
+		p.Delay(Microsecond)
+		if cond.Waiting() != 3 {
+			t.Errorf("waiting = %d, want 3", cond.Waiting())
+		}
+		if !cond.NotifyOne() {
+			t.Errorf("NotifyOne should have woken a waiter")
+		}
+		p.Delay(Microsecond)
+		cond.Notify()
+		if cond.NotifyOne() {
+			t.Errorf("NotifyOne with no waiters should report false")
+		}
+	})
+	eng.Run()
+	if len(woken) != 3 || woken[0] != 0 {
+		t.Errorf("woken = %v; the oldest waiter must be released first", woken)
+	}
+}
+
+func TestBarrierRendezvous(t *testing.T) {
+	eng := NewEngine()
+	bar := NewBarrier(eng, 3)
+	var releaseTimes []Time
+	delays := []Duration{5 * Microsecond, 10 * Microsecond, 20 * Microsecond}
+	for _, d := range delays {
+		d := d
+		eng.Spawn("party", func(p *Proc) {
+			p.Delay(d)
+			bar.Arrive(p)
+			releaseTimes = append(releaseTimes, p.Now())
+		})
+	}
+	eng.Run()
+	if bar.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", bar.Rounds())
+	}
+	for _, rt := range releaseTimes {
+		if rt != Time(20*Microsecond) {
+			t.Errorf("party released at %v, want 20us (all release when the last arrives)", rt)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossRounds(t *testing.T) {
+	eng := NewEngine()
+	bar := NewBarrier(eng, 2)
+	count := 0
+	for i := 0; i < 2; i++ {
+		eng.Spawn("p", func(p *Proc) {
+			for r := 0; r < 4; r++ {
+				p.Delay(Microsecond)
+				bar.Arrive(p)
+				count++
+			}
+		})
+	}
+	eng.Run()
+	if bar.Rounds() != 4 {
+		t.Errorf("rounds = %d, want 4", bar.Rounds())
+	}
+	if count != 8 {
+		t.Errorf("count = %d, want 8", count)
+	}
+	if len(eng.Blocked()) != 0 {
+		t.Errorf("blocked = %v, want none", eng.Blocked())
+	}
+}
+
+// Property: an M/D/c-style system drains in ceil(n/c)*service time when all
+// jobs arrive at time zero — exercises Resource admission under many shapes.
+func TestPropertyResourceBatchDrainTime(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		c := int(cRaw%8) + 1
+		eng := NewEngine()
+		res := NewResource(eng, "srv", c)
+		const service = 10 * Microsecond
+		for i := 0; i < n; i++ {
+			eng.Spawn("job", func(p *Proc) { res.Use(p, 1, service) })
+		}
+		final := eng.Run()
+		waves := (n + c - 1) / c
+		return final == Time(Duration(waves)*service)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a queue delivers every item exactly once and in insertion order
+// regardless of how producers and consumers interleave in time.
+func TestPropertyQueueExactlyOnceInOrder(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		if len(gaps) == 0 || len(gaps) > 40 {
+			return true
+		}
+		eng := NewEngine()
+		q := NewQueue[int](eng, "q")
+		var got []int
+		eng.Spawn("producer", func(p *Proc) {
+			for i, g := range gaps {
+				p.Delay(Duration(g) * Nanosecond)
+				q.Put(i)
+			}
+		})
+		eng.Spawn("consumer", func(p *Proc) {
+			for range gaps {
+				got = append(got, q.Get(p))
+				p.Delay(3 * Nanosecond)
+			}
+		})
+		eng.Run()
+		if len(got) != len(gaps) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateReady
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated process. Its body runs in a dedicated goroutine, but
+// the engine resumes at most one process at a time, so process code never
+// needs host-level synchronization to protect simulation state.
+//
+// All blocking methods (Delay, Sleep, block) must only be called from within
+// the process' own body.
+type Proc struct {
+	eng        *Engine
+	name       string
+	id         int
+	resume     chan struct{}
+	state      procState
+	wakeReason any
+
+	// Accounting, maintained by the primitives for convenience of the
+	// machine models: total time the process has spent in Delay calls.
+	busy Duration
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns a unique, densely allocated identifier for the process.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine that owns the process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// BusyTime returns the cumulative virtual time this process has spent in
+// Delay calls. Machine models use Delay to represent actual computation or
+// occupancy, so BusyTime doubles as a utilization counter.
+func (p *Proc) BusyTime() Duration { return p.busy }
+
+func (p *Proc) run(fn func(p *Proc)) {
+	// Wait for the engine to dispatch our start event.
+	<-p.resume
+	defer func() {
+		p.state = stateDone
+		p.eng.live--
+		p.eng.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// block suspends the process until another entity wakes it via Engine.wake,
+// and returns the reason value supplied by the waker.
+func (p *Proc) block() any {
+	if p.state != stateRunning {
+		panic(fmt.Sprintf("sim: block called on process %q that is not running", p.name))
+	}
+	p.state = stateBlocked
+	p.wakeReason = nil
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+	return p.wakeReason
+}
+
+// Delay advances the process by d units of virtual time, modelling the
+// process being busy for that long. Negative durations are treated as zero.
+func (p *Proc) Delay(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.busy += d
+	if p.state != stateRunning {
+		panic(fmt.Sprintf("sim: Delay called on process %q that is not running", p.name))
+	}
+	p.state = stateBlocked
+	p.eng.wakeAt(p.eng.now.Add(d), p, nil)
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Sleep suspends the process for d units of virtual time without counting the
+// time as busy. Use it for idle waiting loops and polling intervals.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if p.state != stateRunning {
+		panic(fmt.Sprintf("sim: Sleep called on process %q that is not running", p.name))
+	}
+	p.state = stateBlocked
+	p.eng.wakeAt(p.eng.now.Add(d), p, nil)
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Yield reschedules the process at the current instant, behind every event
+// already pending for this instant. It models giving other ready entities a
+// chance to run without advancing time.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// WaitUntil suspends the process until the absolute virtual time t. If t is
+// in the past the call returns immediately.
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t.Sub(p.eng.now))
+}

@@ -1,0 +1,145 @@
+package sim
+
+// Queue is an unbounded FIFO queue of items of type T with blocking Get
+// semantics, usable as a mailbox or run queue between simulated processes.
+// Put never blocks; Get blocks the calling process until an item is
+// available. Waiters are served in FIFO order.
+type Queue[T any] struct {
+	eng     *Engine
+	name    string
+	items   []T
+	waiters []*queueWaiter[T]
+}
+
+type queueWaiter[T any] struct {
+	p        *Proc
+	timeout  EventHandle
+	timedOut bool
+	served   bool
+}
+
+// NewQueue creates an empty queue bound to the engine.
+func NewQueue[T any](eng *Engine, name string) *Queue[T] {
+	return &Queue[T]{eng: eng, name: name}
+}
+
+// Len returns the number of items currently buffered.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Waiting returns the number of processes blocked in Get.
+func (q *Queue[T]) Waiting() int { return len(q.waiters) }
+
+// Put appends an item. If a process is blocked in Get, the oldest waiter is
+// woken and will receive this item (or an earlier buffered one) when it runs.
+// Put may be called from processes and from engine callbacks.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// PutFront pushes an item at the head of the queue, ahead of all buffered
+// items. It is used to re-queue work that should retain its position, e.g. a
+// preempted task returning to the front of a run queue.
+func (q *Queue[T]) PutFront(v T) {
+	q.items = append([]T{v}, q.items...)
+	q.wakeOne()
+}
+
+func (q *Queue[T]) wakeOne() {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.timedOut {
+			continue // stale waiter; its timeout already fired
+		}
+		w.served = true
+		w.timeout.Cancel()
+		q.eng.wake(w.p, nil)
+		return
+	}
+}
+
+// Get removes and returns the oldest item, blocking the calling process until
+// one is available.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		w := &queueWaiter[T]{p: p}
+		q.waiters = append(q.waiters, w)
+		p.block()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// GetTimeout behaves like Get but gives up after waiting d units of virtual
+// time, returning ok=false in that case.
+func (q *Queue[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		return v, true
+	}
+	deadline := q.eng.now.Add(d)
+	for {
+		w := &queueWaiter[T]{p: p}
+		w.timeout = q.eng.At(deadline, func() {
+			if w.served {
+				return
+			}
+			w.timedOut = true
+			q.eng.wake(p, errTimeout{})
+		})
+		q.waiters = append(q.waiters, w)
+		reason := p.block()
+		if _, timedOut := reason.(errTimeout); timedOut {
+			return v, false
+		}
+		if len(q.items) > 0 {
+			v = q.items[0]
+			q.items = q.items[1:]
+			return v, true
+		}
+		// Spurious wake-up (another waiter consumed the item first is not
+		// possible with FIFO service, but a Put/Get race with PutFront
+		// re-queuing keeps this loop defensive). Re-arm unless past deadline.
+		if q.eng.now >= deadline {
+			return v, false
+		}
+	}
+}
+
+// TryGet removes and returns the oldest item without blocking. It reports
+// whether an item was available.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Drain removes and returns all buffered items.
+func (q *Queue[T]) Drain() []T {
+	out := q.items
+	q.items = nil
+	return out
+}
+
+// Remove deletes the first buffered item for which match returns true,
+// reporting whether such an item was found. It is used by schedulers to pull
+// a specific task out of a run queue.
+func (q *Queue[T]) Remove(match func(T) bool) (v T, ok bool) {
+	for i, it := range q.items {
+		if match(it) {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return it, true
+		}
+	}
+	return v, false
+}
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string { return "sim: wait timed out" }

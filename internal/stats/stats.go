@@ -1,0 +1,248 @@
+// Package stats provides the small statistical and tabulation helpers the
+// experiment harness and tests share: summaries of samples, series of
+// (x, y) measurements for figure reproduction, and fixed-width text tables in
+// the style of the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	Std  float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min = xs[0]
+	s.Max = xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// GeometricMean returns the geometric mean of strictly positive samples; it
+// returns 0 if any sample is non-positive or the slice is empty.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Point is one measurement of a swept quantity.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points, ordered by X, used to reproduce one
+// curve of a paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point, keeping the series sorted by X.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// Y returns the Y value at exactly x and whether it exists.
+func (s *Series) Y(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Xs returns the X values in order.
+func (s *Series) Xs() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.X
+	}
+	return out
+}
+
+// Ys returns the Y values in X order.
+func (s *Series) Ys() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Y
+	}
+	return out
+}
+
+// CrossoverX returns the smallest shared X at and beyond which this series is
+// never worse (<=) than other, and whether such a point exists. Experiments
+// use it to locate, e.g., where EDTLP overtakes the static hybrid schemes.
+func (s *Series) CrossoverX(other *Series) (float64, bool) {
+	type pair struct{ x, a, b float64 }
+	var shared []pair
+	for _, p := range s.Points {
+		if y, ok := other.Y(p.X); ok {
+			shared = append(shared, pair{p.X, p.Y, y})
+		}
+	}
+	for i := range shared {
+		all := true
+		for _, q := range shared[i:] {
+			if q.a > q.b {
+				all = false
+				break
+			}
+		}
+		if all {
+			return shared[i].x, true
+		}
+	}
+	return 0, false
+}
+
+// RelErr returns |a-b|/|b|, or +Inf when b is zero.
+func RelErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// Table is a simple fixed-width text table used by the experiment harness to
+// print results in the same layout as the paper's tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells are left empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v for strings and integers and %.2f for floats.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		case float32:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown (used when writing
+// EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}

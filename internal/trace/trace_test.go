@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cellmg/internal/cellsim"
+	"cellmg/internal/sim"
+)
+
+func TestRecordAndAccounting(t *testing.T) {
+	tl := New()
+	tl.Record("spe0", 0, sim.Time(10*sim.Microsecond), "compute")
+	tl.Record("spe0", sim.Time(20*sim.Microsecond), sim.Time(30*sim.Microsecond), "dma")
+	tl.Record("spe1", 0, sim.Time(40*sim.Microsecond), "compute")
+	tl.Record("bogus", sim.Time(5), sim.Time(5), "compute") // zero length, ignored
+
+	if tl.Len() != 3 {
+		t.Errorf("len = %d, want 3 (zero-length intervals dropped)", tl.Len())
+	}
+	comps := tl.Components()
+	if len(comps) != 2 || comps[0] != "spe0" || comps[1] != "spe1" {
+		t.Errorf("components = %v", comps)
+	}
+	if tl.End() != sim.Time(40*sim.Microsecond) {
+		t.Errorf("end = %v", tl.End())
+	}
+	if tl.BusyTime("spe0") != 20*sim.Microsecond {
+		t.Errorf("spe0 busy = %v", tl.BusyTime("spe0"))
+	}
+	if u := tl.Utilization("spe0"); u < 0.49 || u > 0.51 {
+		t.Errorf("spe0 utilization = %v, want 0.5", u)
+	}
+	if u := tl.Utilization("spe1"); u != 1.0 {
+		t.Errorf("spe1 utilization = %v, want 1.0", u)
+	}
+	kinds := tl.KindBreakdown("spe0")
+	if kinds["compute"] != 10*sim.Microsecond || kinds["dma"] != 10*sim.Microsecond {
+		t.Errorf("kind breakdown = %v", kinds)
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	tl := New()
+	if tl.End() != 0 || tl.Utilization("x") != 0 {
+		t.Errorf("empty timeline should report zeros")
+	}
+	if !strings.Contains(tl.Gantt(10), "empty") {
+		t.Errorf("empty gantt should say so")
+	}
+}
+
+func TestGanttShape(t *testing.T) {
+	tl := New()
+	tl.Record("spe0", 0, sim.Time(50*sim.Microsecond), "compute")
+	tl.Record("spe1", sim.Time(50*sim.Microsecond), sim.Time(100*sim.Microsecond), "compute")
+	out := tl.Gantt(10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt should have a header and two rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "spe0") || !strings.Contains(lines[2], "spe1") {
+		t.Errorf("rows mislabelled:\n%s", out)
+	}
+	// spe0 busy in the first half, idle in the second; spe1 the reverse.
+	row0 := lines[1]
+	if !strings.Contains(row0, "#####") || !strings.Contains(row0, ".....") {
+		t.Errorf("spe0 row should be half busy, half idle: %q", row0)
+	}
+	if !strings.Contains(row0, "50.0%") {
+		t.Errorf("spe0 row should report 50%% utilization: %q", row0)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tl := New()
+	tl.Record("b", sim.Time(10), sim.Time(20), "dma")
+	tl.Record("a", sim.Time(0), sim.Time(5), "compute")
+	csv := tl.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "component,start_ns,end_ns,kind" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a,0,5,compute") || !strings.HasPrefix(lines[2], "b,10,20,dma") {
+		t.Errorf("rows not sorted by start:\n%s", csv)
+	}
+}
+
+func TestIntegrationWithCellsimHook(t *testing.T) {
+	eng := sim.NewEngine()
+	m := cellsim.NewMachine(eng, cellsim.DefaultCostModel(), 1)
+	tl := New()
+	m.Trace = tl.Record
+	m.SPE(0).Submit("work", func(c *cellsim.SPEContext) {
+		c.DMAGet(4096)
+		c.Compute(20 * sim.Microsecond)
+		c.DMAPut(4096)
+	})
+	eng.Spawn("ppe", func(p *sim.Proc) {
+		m.Cells[0].PPE.AcquireContext(p)
+		m.Cells[0].PPE.Compute(p, 5*sim.Microsecond)
+		m.Cells[0].PPE.ReleaseContext()
+	})
+	eng.Run()
+	if tl.Len() < 4 {
+		t.Fatalf("expected at least 4 intervals (2 DMA + 1 compute + 1 PPE), got %d", tl.Len())
+	}
+	comps := tl.Components()
+	joined := strings.Join(comps, " ")
+	if !strings.Contains(joined, "cell0.spe0") || !strings.Contains(joined, "cell0.ppe") {
+		t.Errorf("components = %v", comps)
+	}
+	kinds := tl.KindBreakdown("cell0.spe0")
+	if kinds["compute"] != 20*sim.Microsecond {
+		t.Errorf("spe compute time = %v, want 20us", kinds["compute"])
+	}
+	if kinds["dma"] == 0 {
+		t.Errorf("DMA intervals should be traced")
+	}
+}

@@ -1,0 +1,25 @@
+// Package workload models the applications scheduled in the paper as task
+// graphs that the scheduler models execute.
+//
+// The primary workload is RAxML's bootstrap analysis on the 42_SC input
+// (42 organisms, 1167 nucleotides, 228 distinct site patterns after
+// compression): an embarrassingly parallel set of tree searches, each of
+// which spends >90% of its time in three likelihood functions (newview,
+// evaluate, makenewz) that the Cell port off-loads to SPEs, separated by
+// short stretches of PPE-resident code. Every constant in RAxML42SC is
+// derived from measurements reported in the paper (Section 5.1-5.3); the
+// derivations are spelled out next to each field.
+//
+// A workload here is a slice of Process values; each Process is a
+// deterministic sequence of Steps (PPE compute bursts and off-loadable
+// function invocations). The generator is seeded per process, so the same
+// configuration always produces the identical workload, which keeps every
+// experiment reproducible.
+//
+// Because simulating the full 270,000 off-loads of a real bootstrap for
+// every point of every figure would be needlessly slow, the generator scales
+// the number of off-loads per bootstrap down (CallsPerBootstrap) while
+// preserving every ratio that drives the scheduling behaviour; results are
+// reported in paper-equivalent seconds via ScaleFactor. Scale-invariance of
+// the headline ratios is verified by tests in package experiments.
+package workload
