@@ -159,6 +159,16 @@ func BenchmarkAblation_ScaleInvariance(b *testing.B) {
 	requireClaims(b, rep)
 }
 
+// BenchmarkE11_NativeCalibration times the real Go likelihood kernels and
+// re-runs the scheduler comparison on the measured workload (experiment E11).
+func BenchmarkE11_NativeCalibration(b *testing.B) {
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.NativeCalibration(quickCfg)
+	}
+	requireClaims(b, rep)
+}
+
 // --- Simulator micro-benchmarks -------------------------------------------
 
 // BenchmarkSimulatorEDTLP8 measures the cost of simulating one full Table 1

@@ -3,8 +3,24 @@
 // Antonopoulos; PPoPP 2007).
 //
 // The repository contains no importable code at the module root; the library
-// lives under internal/ (see DESIGN.md for the system inventory), the
-// executables under cmd/, runnable examples under examples/, and the
-// benchmark harness that regenerates every table and figure of the paper in
-// bench_test.go next to this file.
+// lives under internal/, the executables under cmd/, runnable examples under
+// examples/, and the benchmark harness that regenerates every table and
+// figure of the paper in bench_test.go next to this file.
+//
+// The reproduction has two halves. The simulation half (internal/sim,
+// internal/cellsim, internal/workload, internal/sched, internal/policy)
+// models the Cell and regenerates the paper's evaluation from a calibrated
+// cost model. The native half (internal/phylo, internal/native) executes the
+// real likelihood kernels — newview(), evaluate(), makenewz() — under the
+// same EDTLP / static-LLP / MGPS policies on a goroutine worker pool, with a
+// per-engine transition-matrix cache and allocation-free kernel loops so the
+// scheduled unit of work is arithmetic, not garbage collection. Experiment
+// E11 (internal/experiments) ties the halves together by timing the real
+// kernels and re-running the scheduler comparison on the measured costs.
+//
+// Verify with:
+//
+//	go build ./... && go test ./...
+//
+// See README.md for the module layout and the kernel-cache design notes.
 package cellmg

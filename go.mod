@@ -1,0 +1,3 @@
+module cellmg
+
+go 1.24

@@ -173,5 +173,6 @@ func All(cfg Config) []Report {
 		AblationSwitchCostQuantum(cfg),
 		AblationMGPSWindow(cfg),
 		AblationScaleInvariance(cfg),
+		NativeCalibration(cfg),
 	}
 }

@@ -78,6 +78,17 @@ func TestFigure10Report(t *testing.T) {
 	}
 }
 
+func TestNativeCalibrationReport(t *testing.T) {
+	r := NativeCalibration(quick())
+	checkReport(t, r)
+	if !r.Passed() {
+		t.Errorf("E11 did not pass all claims")
+	}
+	if len(r.Tables) != 2 {
+		t.Errorf("E11 should produce a kernel table and a scheduler table, got %d", len(r.Tables))
+	}
+}
+
 func TestAblationReports(t *testing.T) {
 	for _, r := range []Report{
 		AblationSwitchCostQuantum(quick()),
@@ -93,8 +104,8 @@ func TestAllRunsEveryExperimentOnce(t *testing.T) {
 		t.Skip("full suite run skipped in -short mode")
 	}
 	reports := All(quick())
-	if len(reports) != 10 {
-		t.Fatalf("All returned %d reports, want 10", len(reports))
+	if len(reports) != 11 {
+		t.Fatalf("All returned %d reports, want 11", len(reports))
 	}
 	ids := map[string]bool{}
 	for _, r := range reports {

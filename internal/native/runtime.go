@@ -233,10 +233,40 @@ func (r *Runtime) NewSubmitter() *Submitter {
 
 // TaskContext is passed to an off-loaded task body; it exposes the loop-level
 // parallelism of the worker group assigned to the task.
+//
+// The loop plumbing is allocation-free in steady state: chunk bounds live in
+// a per-context slice and each non-master group slot has one persistent
+// runner closure, so work-sharing a loop enqueues prebuilt funcs instead of
+// allocating a capture per chunk. ParallelFor calls are serial per task (the
+// master issues them), which makes reusing the chunk slice and WaitGroup
+// safe.
 type TaskContext struct {
 	rt     *Runtime
 	group  []int // worker slots held by this task; group[0] is the master
 	master int
+
+	loopBody func(lo, hi int) // body of the loop currently being work-shared
+	loopWG   sync.WaitGroup
+	chunks   []chunkBounds // per group slot; chunks[0] is the master share
+	runners  []func()      // persistent per-slot runners (nil at slot 0)
+}
+
+type chunkBounds struct{ lo, hi int }
+
+// initLoopRunners builds the persistent runner closures, one per non-master
+// group slot. Each runner reads its chunk bounds and the current body from
+// the context at execution time.
+func (tc *TaskContext) initLoopRunners() {
+	tc.chunks = make([]chunkBounds, len(tc.group))
+	tc.runners = make([]func(), len(tc.group))
+	for i := 1; i < len(tc.group); i++ {
+		i := i
+		tc.runners[i] = func() {
+			c := tc.chunks[i]
+			tc.loopBody(c.lo, c.hi)
+			tc.loopWG.Done()
+		}
+	}
 }
 
 // GroupSize returns the number of workers assigned to the task (1 when
@@ -294,6 +324,9 @@ func (s *Submitter) Offload(fn func(tc *TaskContext)) error {
 
 	// Run the task body on the master worker.
 	tc := &TaskContext{rt: r, group: group, master: group[0]}
+	if len(group) > 1 {
+		tc.initLoopRunners()
+	}
 	done := make(chan struct{})
 	r.workers[group[0]].jobs <- func() {
 		fn(tc)
@@ -335,7 +368,8 @@ func (tc *TaskContext) ParallelFor(n int, body func(lo, hi int)) {
 	atomic.AddInt64(&r.loopsWorkShared, 1)
 	workers := len(tc.group)
 	// Master bonus: the master executes its chunk inline without a channel
-	// round trip, so give it a slightly larger share.
+	// round trip, so give it a slightly larger share (the paper's purposeful
+	// load unbalancing).
 	masterShare := int(float64(n)/float64(workers)*(1+r.opts.MasterShareBonus)) + 1
 	if masterShare > n {
 		masterShare = n
@@ -344,26 +378,34 @@ func (tc *TaskContext) ParallelFor(n int, body func(lo, hi int)) {
 	perWorker := rest / (workers - 1)
 	extra := rest % (workers - 1)
 
-	var wg sync.WaitGroup
+	// Lay the chunk bounds out first, then publish the body and launch the
+	// persistent runners. Empty chunks are zeroed so a stale bound from a
+	// previous loop is never re-executed.
+	tc.loopBody = body
+	tc.chunks[0] = chunkBounds{0, masterShare}
 	lo := masterShare
+	launched := 0
 	for i := 1; i < workers; i++ {
 		chunk := perWorker
 		if i <= extra {
 			chunk++
 		}
 		if chunk == 0 {
+			tc.chunks[i] = chunkBounds{}
 			continue
 		}
-		hi := lo + chunk
-		wg.Add(1)
-		cl, ch := lo, hi
-		r.workers[tc.group[i]].jobs <- func() {
-			defer wg.Done()
-			body(cl, ch)
+		tc.chunks[i] = chunkBounds{lo, lo + chunk}
+		lo += chunk
+		launched++
+	}
+	tc.loopWG.Add(launched)
+	for i := 1; i < workers; i++ {
+		if c := tc.chunks[i]; c.hi > c.lo {
+			r.workers[tc.group[i]].jobs <- tc.runners[i]
 		}
-		lo = hi
 	}
 	// Master slice runs inline (we are already on the master worker).
 	body(0, masterShare)
-	wg.Wait()
+	tc.loopWG.Wait()
+	tc.loopBody = nil
 }

@@ -8,7 +8,7 @@ import (
 // benchEngine builds a 42-taxon, 1167-site workload — the dimensions of the
 // paper's 42_SC input — so the kernel benchmarks measure the granularity the
 // paper's scheduler sees.
-func benchEngine(b *testing.B, cats RateCategories) (*Engine, *Tree) {
+func benchEngine(b *testing.B, model Model, cats RateCategories) (*Engine, *Tree) {
 	b.Helper()
 	_, aln, err := Simulate(SimulateOptions{Taxa: 42, Length: 1167, Seed: 42, MeanBranchLength: 0.08})
 	if err != nil {
@@ -18,7 +18,7 @@ func benchEngine(b *testing.B, cats RateCategories) (*Engine, *Tree) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, err := NewEngine(data, NewJC69(), cats)
+	eng, err := NewEngine(data, model, cats)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -29,15 +29,92 @@ func benchEngine(b *testing.B, cats RateCategories) (*Engine, *Tree) {
 	return eng, tree
 }
 
+// benchInternalNode picks an internal node for single-kernel benchmarks.
+func benchInternalNode(b *testing.B, tree *Tree) *Node {
+	b.Helper()
+	var node *Node
+	PostOrder(tree.Root, func(n *Node) {
+		if node == nil && !n.IsTip() && n.Parent != nil {
+			node = n
+		}
+	})
+	if node == nil {
+		b.Fatal("tree has no internal non-root node")
+	}
+	return node
+}
+
 // BenchmarkNewview measures one conditional-likelihood-vector update — the
 // paper's dominant off-loaded kernel (76.8% of sequential time).
 func BenchmarkNewview(b *testing.B) {
-	eng, tree := benchEngine(b, SingleRate())
-	eng.LogLikelihood(tree) // populate buffers
-	node := tree.Root.Children[0]
-	for node.IsTip() {
-		node = tree.Root.Children[1]
+	eng, tree := benchEngine(b, NewJC69(), SingleRate())
+	eng.LogLikelihood(tree) // populate buffers and the transition cache
+	node := benchInternalNode(b, tree)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Newview(node)
 	}
+}
+
+// BenchmarkNewviewGamma4 is the same update with four discrete-Gamma rate
+// categories (4x the arithmetic and cache footprint per pattern).
+func BenchmarkNewviewGamma4(b *testing.B) {
+	rates, err := DiscreteGamma(0.8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, tree := benchEngine(b, NewJC69(), rates)
+	eng.LogLikelihood(tree)
+	node := benchInternalNode(b, tree)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Newview(node)
+	}
+}
+
+// benchGTR returns a GTR model with non-trivial exchange rates, the
+// configuration whose transition matrices cost an eigen-exponential each —
+// what the transition cache exists to amortize.
+func benchGTR(b *testing.B) *GTR {
+	b.Helper()
+	g, err := NewGTR([6]float64{1.5, 3, 0.7, 1.2, 4, 1}, Frequencies{0.28, 0.22, 0.24, 0.26})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchGamma4(b *testing.B) RateCategories {
+	b.Helper()
+	rates, err := DiscreteGamma(0.8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rates
+}
+
+// BenchmarkNewviewGTRGamma4 and its NoCache counterpart quantify what the
+// transition-matrix cache buys under the expensive model family: with the
+// cache disabled every Newview recomputes eight eigen-exponential matrices
+// (two children x four rate categories).
+func BenchmarkNewviewGTRGamma4(b *testing.B) {
+	eng, tree := benchEngine(b, benchGTR(b), benchGamma4(b))
+	eng.LogLikelihood(tree)
+	node := benchInternalNode(b, tree)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Newview(node)
+	}
+}
+
+func BenchmarkNewviewGTRGamma4NoCache(b *testing.B) {
+	eng, tree := benchEngine(b, benchGTR(b), benchGamma4(b))
+	eng.SetTransitionCache(false)
+	eng.LogLikelihood(tree)
+	node := benchInternalNode(b, tree)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -46,9 +123,12 @@ func BenchmarkNewview(b *testing.B) {
 }
 
 // BenchmarkEvaluate measures one full log-likelihood evaluation (a post-order
-// newview sweep plus the root evaluation).
+// newview sweep plus the root evaluation) in steady state: the warm-up call
+// sizes every engine buffer and fills the transition cache, so the timed loop
+// is the pure kernel cost.
 func BenchmarkEvaluate(b *testing.B) {
-	eng, tree := benchEngine(b, SingleRate())
+	eng, tree := benchEngine(b, NewJC69(), SingleRate())
+	eng.LogLikelihood(tree)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -64,7 +144,8 @@ func BenchmarkEvaluateGamma4(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, tree := benchEngine(b, rates)
+	eng, tree := benchEngine(b, NewJC69(), rates)
+	eng.LogLikelihood(tree)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -73,10 +154,37 @@ func BenchmarkEvaluateGamma4(b *testing.B) {
 }
 
 // BenchmarkMakenewz measures one branch-length optimization (Newton-Raphson
-// on one edge), the paper's second hottest kernel.
+// on one edge), the paper's second hottest kernel, in steady state.
 func BenchmarkMakenewz(b *testing.B) {
-	eng, tree := benchEngine(b, SingleRate())
+	eng, tree := benchEngine(b, NewJC69(), SingleRate())
 	edge := tree.Edges()[len(tree.Edges())/2]
+	eng.OptimizeBranch(tree, edge) // converge the edge and warm the caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.OptimizeBranch(tree, edge)
+	}
+}
+
+// BenchmarkMakenewzGTRGamma4 and its NoCache counterpart measure the Newton
+// kernel under the expensive model family; with the cache disabled every
+// Newton iteration recomputes its twelve derivative matrices from the model.
+func BenchmarkMakenewzGTRGamma4(b *testing.B) {
+	eng, tree := benchEngine(b, benchGTR(b), benchGamma4(b))
+	edge := tree.Edges()[len(tree.Edges())/2]
+	eng.OptimizeBranch(tree, edge)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.OptimizeBranch(tree, edge)
+	}
+}
+
+func BenchmarkMakenewzGTRGamma4NoCache(b *testing.B) {
+	eng, tree := benchEngine(b, benchGTR(b), benchGamma4(b))
+	eng.SetTransitionCache(false)
+	edge := tree.Edges()[len(tree.Edges())/2]
+	eng.OptimizeBranch(tree, edge)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

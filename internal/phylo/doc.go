@@ -23,4 +23,12 @@
 // executor, which is how the native runtime in package native work-shares the
 // loops across workers — the Go analogue of the paper's loop-level
 // parallelism across SPEs.
+//
+// The kernels are engineered to be allocation-free in steady state: a
+// per-engine transition-matrix cache keyed by branch length (transcache.go)
+// serves flattened probability and derivative matrices to stride-indexed,
+// fully unrolled loop bodies that are created once per engine and fed
+// engine-owned argument blocks. SetTransitionCache(false) selects the
+// recompute-always reference path, which the equivalence tests hold the
+// cached path to exactly.
 package phylo

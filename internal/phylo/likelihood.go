@@ -45,6 +45,12 @@ type KernelStats struct {
 // intended concurrency is one Engine per in-flight tree search (task-level
 // parallelism) with the per-pattern loops optionally work-shared through
 // ParallelFor (loop-level parallelism), mirroring the paper's two layers.
+//
+// The hot path is allocation-free in steady state: transition matrices are
+// served from a per-engine cache keyed by branch length (see transcache.go),
+// the kernel loop bodies are persistent closures created once at
+// construction, and every per-pattern buffer is engine-owned and reused.
+// Mutating Model or Rates in place requires InvalidateTransitions.
 type Engine struct {
 	Data  *PatternAlignment
 	Model Model
@@ -62,6 +68,27 @@ type Engine struct {
 	out       [][]float64 // per node ID: conditionals of everything outside the subtree
 	outScale  [][]float64
 	siteBuf   []float64 // per-pattern scratch for reductions
+
+	// Transition cache (transcache.go).
+	cacheOn      bool
+	probs        map[float64][]float64
+	derivs       map[float64]*derivTriple
+	transScratch [2][]float64
+	derivScratch *derivTriple
+
+	// Persistent kernel loop bodies and their argument blocks. The bodies are
+	// built once in NewEngine and fed engine-owned argument structs, so
+	// invoking a kernel allocates nothing (a fresh closure per call would
+	// escape to the heap on every traversal step).
+	nvFn   func(lo, hi int)
+	outFn  func(lo, hi int)
+	evalFn func(lo, hi int)
+	nvA    newviewArgs
+	outA   computeOutArgs
+	evalA  evaluateArgs
+
+	downVisit func(n *Node) // post-order Newview sweep body
+	outVisit  func(n *Node) // pre-order outer-vector sweep body
 }
 
 // NewEngine creates a likelihood engine for the alignment, model and rate
@@ -86,6 +113,16 @@ func NewEngine(data *PatternAlignment, model Model, rates RateCategories) (*Engi
 		stride: rates.Count() * NumStates,
 	}
 	e.buildTipVectors()
+	e.initCache()
+	e.nvFn = e.newviewBody
+	e.outFn = e.computeOutBody
+	e.evalFn = e.evaluateBody
+	e.downVisit = func(n *Node) {
+		if !n.IsTip() {
+			e.Newview(n)
+		}
+	}
+	e.outVisit = e.computeOutNode
 	return e, nil
 }
 
@@ -123,7 +160,7 @@ func (e *Engine) buildTipVectors() {
 // ensureBuffers sizes the per-node buffers for the tree.
 func (e *Engine) ensureBuffers(t *Tree) {
 	n := len(t.Nodes)
-	if len(e.down) >= n {
+	if len(e.down) >= n && cap(e.siteBuf) >= e.nPat {
 		return
 	}
 	grow := func(bufs [][]float64, per int) [][]float64 {
@@ -136,16 +173,11 @@ func (e *Engine) ensureBuffers(t *Tree) {
 	e.downScale = grow(e.downScale, e.nPat)
 	e.out = grow(e.out, e.nPat*e.stride)
 	e.outScale = grow(e.outScale, e.nPat)
-}
-
-// transitionSet computes one probability matrix per rate category for a
-// branch of length b.
-func (e *Engine) transitionSet(b float64) []Matrix {
-	ps := make([]Matrix, e.nCat)
-	for r, rate := range e.Rates.Rates {
-		ps[r] = e.Model.Transition(b * rate)
+	// Size the reduction buffer here, outside any parallel region, so no
+	// work-shared chunk ever observes it growing.
+	if cap(e.siteBuf) < e.nPat {
+		e.siteBuf = make([]float64, e.nPat)
 	}
-	return ps
 }
 
 // childVector returns the conditional likelihood vector and scaler slice of a
@@ -157,6 +189,66 @@ func (e *Engine) childVector(n *Node) ([]float64, []float64) {
 	return e.down[n.ID], e.downScale[n.ID]
 }
 
+// newviewArgs is the argument block of the Newview loop body.
+type newviewArgs struct {
+	lv, rv         []float64 // child conditional vectors
+	lscale, rscale []float64 // child scaler vectors (nil for tips)
+	pl, pr         []float64 // flattened transition matrices
+	dst, scale     []float64 // destination vectors
+}
+
+// newviewBody is the per-pattern loop of the newview() kernel: for every
+// pattern and rate category it forms the fused product of the left and right
+// child contributions through the flattened transition matrices. The 4-state
+// inner products are fully unrolled; slices are hoisted per category so the
+// innermost statements are bounds-check-free.
+func (e *Engine) newviewBody(lo, hi int) {
+	a := &e.nvA
+	lv, rv := a.lv, a.rv
+	pl, pr := a.pl, a.pr
+	dst, scale := a.dst, a.scale
+	lscale, rscale := a.lscale, a.rscale
+	nCat, stride := e.nCat, e.stride
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		maxV := 0.0
+		for r := 0; r < nCat; r++ {
+			off := base + r*NumStates
+			m := r * flatMatSize
+			pm := pl[m : m+flatMatSize : m+flatMatSize]
+			qm := pr[m : m+flatMatSize : m+flatMatSize]
+			l0, l1, l2, l3 := lv[off], lv[off+1], lv[off+2], lv[off+3]
+			r0, r1, r2, r3 := rv[off], rv[off+1], rv[off+2], rv[off+3]
+			for s := 0; s < NumStates; s++ {
+				k := s * NumStates
+				sumL := pm[k]*l0 + pm[k+1]*l1 + pm[k+2]*l2 + pm[k+3]*l3
+				sumR := qm[k]*r0 + qm[k+1]*r1 + qm[k+2]*r2 + qm[k+3]*r3
+				v := sumL * sumR
+				dst[off+s] = v
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+		sc := 0.0
+		if lscale != nil {
+			sc += lscale[i]
+		}
+		if rscale != nil {
+			sc += rscale[i]
+		}
+		// Rescale to avoid underflow on deep trees.
+		if maxV > 0 && maxV < scalingThreshold {
+			inv := 1 / maxV
+			for k := base; k < base+stride; k++ {
+				dst[k] *= inv
+			}
+			sc += math.Log(maxV)
+		}
+		scale[i] = sc
+	}
+}
+
 // Newview computes the conditional likelihood vector of an internal node from
 // its two children — the paper's newview() kernel. The children's vectors
 // must already be up to date.
@@ -166,173 +258,205 @@ func (e *Engine) Newview(n *Node) {
 	}
 	e.Stats.NewviewCalls++
 	left, right := n.Children[0], n.Children[1]
-	lv, lscale := e.childVector(left)
-	rv, rscale := e.childVector(right)
-	pl := e.transitionSet(left.Length)
-	pr := e.transitionSet(right.Length)
-	dst := e.down[n.ID]
-	scale := e.downScale[n.ID]
-
-	e.par(e.nPat, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			base := i * e.stride
-			maxV := 0.0
-			for r := 0; r < e.nCat; r++ {
-				off := base + r*NumStates
-				for s := 0; s < NumStates; s++ {
-					var sumL, sumR float64
-					for t := 0; t < NumStates; t++ {
-						sumL += pl[r][s][t] * lv[off+t]
-						sumR += pr[r][s][t] * rv[off+t]
-					}
-					v := sumL * sumR
-					dst[off+s] = v
-					if v > maxV {
-						maxV = v
-					}
-				}
-			}
-			sc := 0.0
-			if lscale != nil {
-				sc += lscale[i]
-			}
-			if rscale != nil {
-				sc += rscale[i]
-			}
-			// Rescale to avoid underflow on deep trees.
-			if maxV > 0 && maxV < scalingThreshold {
-				inv := 1 / maxV
-				for k := base; k < base+e.stride; k++ {
-					dst[k] *= inv
-				}
-				sc += math.Log(maxV)
-			}
-			scale[i] = sc
-		}
-	})
+	a := &e.nvA
+	a.lv, a.lscale = e.childVector(left)
+	a.rv, a.rscale = e.childVector(right)
+	a.pl = e.transitionFlat(left.Length, 0)
+	a.pr = e.transitionFlat(right.Length, 1)
+	a.dst = e.down[n.ID]
+	a.scale = e.downScale[n.ID]
+	e.par(e.nPat, e.nvFn)
 }
 
 // computeDown refreshes every subtree conditional vector with a post-order
 // traversal.
 func (e *Engine) computeDown(t *Tree) {
 	e.ensureBuffers(t)
-	PostOrder(t.Root, func(n *Node) {
-		if !n.IsTip() {
-			e.Newview(n)
+	PostOrder(t.Root, e.downVisit)
+}
+
+// computeOutArgs is the argument block of the outer-vector loop body.
+type computeOutArgs struct {
+	sv, sscale []float64 // sibling conditional vector and scalers
+	psib       []float64 // flattened sibling transition matrices
+	pup        []float64 // flattened parent transition matrices (nil at root)
+	uv, uscale []float64 // parent outer vector and scalers
+	dst, scale []float64
+	freqs      Frequencies
+}
+
+func (e *Engine) computeOutBody(lo, hi int) {
+	a := &e.outA
+	sv, psib := a.sv, a.psib
+	pup, uv := a.pup, a.uv
+	dst, scale := a.dst, a.scale
+	sscale, uscale := a.sscale, a.uscale
+	f0, f1, f2, f3 := a.freqs[0], a.freqs[1], a.freqs[2], a.freqs[3]
+	nCat, stride := e.nCat, e.stride
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		maxV := 0.0
+		for r := 0; r < nCat; r++ {
+			off := base + r*NumStates
+			m := r * flatMatSize
+			sm := psib[m : m+flatMatSize : m+flatMatSize]
+			s0, s1, s2, s3 := sv[off], sv[off+1], sv[off+2], sv[off+3]
+			var um []float64
+			var u0, u1, u2, u3 float64
+			if pup != nil {
+				um = pup[m : m+flatMatSize : m+flatMatSize]
+				u0, u1, u2, u3 = uv[off], uv[off+1], uv[off+2], uv[off+3]
+			}
+			for s := 0; s < NumStates; s++ {
+				k := s * NumStates
+				// Contribution of the sibling subtree, seen from u.
+				sibSum := sm[k]*s0 + sm[k+1]*s1 + sm[k+2]*s2 + sm[k+3]*s3
+				var rest float64
+				if pup == nil {
+					// u is the root: the prior lives here.
+					switch s {
+					case 0:
+						rest = f0
+					case 1:
+						rest = f1
+					case 2:
+						rest = f2
+					default:
+						rest = f3
+					}
+				} else {
+					// Everything outside u's subtree, folded from the
+					// grandparent down to u (column s of the parent matrix).
+					rest = u0*um[s] + u1*um[NumStates+s] + u2*um[2*NumStates+s] + u3*um[3*NumStates+s]
+				}
+				v := sibSum * rest
+				dst[off+s] = v
+				if v > maxV {
+					maxV = v
+				}
+			}
 		}
-	})
+		sc := 0.0
+		if sscale != nil {
+			sc += sscale[i]
+		}
+		if uscale != nil {
+			sc += uscale[i]
+		}
+		if maxV > 0 && maxV < scalingThreshold {
+			inv := 1 / maxV
+			for k := base; k < base+stride; k++ {
+				dst[k] *= inv
+			}
+			sc += math.Log(maxV)
+		}
+		scale[i] = sc
+	}
+}
+
+// computeOutNode refreshes the outer vectors of u's children.
+func (e *Engine) computeOutNode(u *Node) {
+	a := &e.outA
+	// The parent matrices depend only on u, not on the child: fill slot 1
+	// once (the per-sibling matrices cycle through slot 0 inside the loop).
+	if u.Parent != nil {
+		a.pup = e.transitionFlat(u.Length, 1)
+		a.uv = e.out[u.ID]
+		a.uscale = e.outScale[u.ID]
+	} else {
+		a.pup = nil
+		a.uv = nil
+		a.uscale = nil
+	}
+	for _, v := range u.Children {
+		sib := v.Sibling()
+		a.sv, a.sscale = e.childVector(sib)
+		a.psib = e.transitionFlat(sib.Length, 0)
+		a.dst = e.out[v.ID]
+		a.scale = e.outScale[v.ID]
+		e.par(e.nPat, e.outFn)
+	}
 }
 
 // computeOut refreshes, for every non-root node, the conditional likelihood
 // of all data outside its subtree (given the state at its parent), with a
 // pre-order traversal. computeDown must have run first.
 func (e *Engine) computeOut(t *Tree) {
-	freqs := e.Model.Frequencies()
-	PreOrder(t.Root, func(u *Node) {
-		for _, v := range u.Children {
-			sib := v.Sibling()
-			sv, sscale := e.childVector(sib)
-			psib := e.transitionSet(sib.Length)
-			dst := e.out[v.ID]
-			scale := e.outScale[v.ID]
-			var pup []Matrix
-			var uv []float64
-			var uscale []float64
-			if u.Parent != nil {
-				pup = e.transitionSet(u.Length)
-				uv = e.out[u.ID]
-				uscale = e.outScale[u.ID]
-			}
-			e.par(e.nPat, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					base := i * e.stride
-					maxV := 0.0
-					for r := 0; r < e.nCat; r++ {
-						off := base + r*NumStates
-						for s := 0; s < NumStates; s++ {
-							// Contribution of the sibling subtree, seen from u.
-							var sibSum float64
-							for tt := 0; tt < NumStates; tt++ {
-								sibSum += psib[r][s][tt] * sv[off+tt]
-							}
-							var rest float64
-							if u.Parent == nil {
-								// u is the root: the prior lives here.
-								rest = freqs[s]
-							} else {
-								// Everything outside u's subtree, folded from
-								// the grandparent down to u.
-								rest = 0
-								for sp := 0; sp < NumStates; sp++ {
-									rest += uv[off+sp] * pup[r][sp][s]
-								}
-							}
-							dst[off+s] = sibSum * rest
-							if dst[off+s] > maxV {
-								maxV = dst[off+s]
-							}
-						}
-					}
-					sc := 0.0
-					if sscale != nil {
-						sc += sscale[i]
-					}
-					if uscale != nil {
-						sc += uscale[i]
-					}
-					if maxV > 0 && maxV < scalingThreshold {
-						inv := 1 / maxV
-						for k := base; k < base+e.stride; k++ {
-							dst[k] *= inv
-						}
-						sc += math.Log(maxV)
-					}
-					scale[i] = sc
-				}
-			})
+	e.outA.freqs = e.Model.Frequencies()
+	PreOrder(t.Root, e.outVisit)
+}
+
+// Refresh recomputes every inner (down) and outer (out) conditional vector of
+// the tree. It is what OptimizeBranch runs internally before each Newton
+// optimization; calibration and benchmarks use it to put the engine in the
+// state Makenewz expects.
+func (e *Engine) Refresh(t *Tree) {
+	e.computeDown(t)
+	e.computeOut(t)
+}
+
+// evaluateArgs is the argument block of the root-evaluation loop body.
+type evaluateArgs struct {
+	rootVec   []float64
+	rootScale []float64
+	site      []float64
+	freqs     Frequencies
+	catWeight float64
+}
+
+func (e *Engine) evaluateBody(lo, hi int) {
+	a := &e.evalA
+	rootVec, rootScale := a.rootVec, a.rootScale
+	site, weights := a.site, e.Data.Weights
+	f0, f1, f2, f3 := a.freqs[0], a.freqs[1], a.freqs[2], a.freqs[3]
+	catWeight := a.catWeight
+	nCat, stride := e.nCat, e.stride
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		var siteL float64
+		for r := 0; r < nCat; r++ {
+			off := base + r*NumStates
+			siteL += f0*rootVec[off] + f1*rootVec[off+1] + f2*rootVec[off+2] + f3*rootVec[off+3]
 		}
-	})
+		siteL *= catWeight
+		if siteL <= 0 {
+			siteL = math.SmallestNonzeroFloat64
+		}
+		site[i] = weights[i] * (math.Log(siteL) + rootScale[i])
+	}
 }
 
 // Evaluate computes the log-likelihood of the tree at the root — the paper's
 // evaluate() kernel. computeDown must have run first.
 func (e *Engine) evaluateAtRoot(t *Tree) float64 {
 	e.Stats.EvaluateCalls++
-	freqs := e.Model.Frequencies()
 	root := t.Root
-	rootVec := e.down[root.ID]
-	rootScale := e.downScale[root.ID]
-	catWeight := 1.0 / float64(e.nCat)
+	a := &e.evalA
+	a.rootVec = e.down[root.ID]
+	a.rootScale = e.downScale[root.ID]
+	a.freqs = e.Model.Frequencies()
+	a.catWeight = 1.0 / float64(e.nCat)
 
-	// Per-pattern contributions are written to disjoint slots, so the loop is
-	// safe under any ParallelFor executor; the final reduction is serial,
-	// mirroring the master-side reduction of the paper's work-sharing scheme.
-	if cap(e.siteBuf) < e.nPat {
-		e.siteBuf = make([]float64, e.nPat)
-	}
-	site := e.siteBuf[:e.nPat]
-	e.par(e.nPat, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			base := i * e.stride
-			var siteL float64
-			for r := 0; r < e.nCat; r++ {
-				off := base + r*NumStates
-				for s := 0; s < NumStates; s++ {
-					siteL += freqs[s] * rootVec[off+s]
-				}
-			}
-			siteL *= catWeight
-			if siteL <= 0 {
-				siteL = math.SmallestNonzeroFloat64
-			}
-			site[i] = e.Data.Weights[i] * (math.Log(siteL) + rootScale[i])
-		}
-	})
+	// Per-pattern contributions are written to disjoint slots of the
+	// pre-sized buffer (ensureBuffers), so the loop is safe under any
+	// ParallelFor executor; the final reduction is serial, mirroring the
+	// master-side reduction of the paper's work-sharing scheme.
+	a.site = e.siteBuf[:e.nPat]
+	e.par(e.nPat, e.evalFn)
 	var sum float64
-	for _, v := range site {
+	for _, v := range a.site {
 		sum += v
 	}
 	return sum
+}
+
+// EvaluateRoot exposes the evaluate() kernel on its own: it computes the
+// log-likelihood from the current root conditional vector without refreshing
+// anything. Refresh or LogLikelihood must have run on t first; calibration
+// uses it to time the kernel in isolation.
+func (e *Engine) EvaluateRoot(t *Tree) float64 {
+	e.ensureBuffers(t)
+	return e.evaluateAtRoot(t)
 }
 
 // LogLikelihood fully recomputes and returns the log-likelihood of the tree.
@@ -348,42 +472,30 @@ func (e *Engine) edgeDerivatives(v *Node, b float64) (ll, d1, d2 float64) {
 	dv, dscale := e.childVector(v)
 	ov := e.out[v.ID]
 	oscale := e.outScale[v.ID]
+	weights := e.Data.Weights
 	catWeight := 1.0 / float64(e.nCat)
-
-	p := make([]Matrix, e.nCat)
-	dp := make([]Matrix, e.nCat)
-	d2p := make([]Matrix, e.nCat)
-	for r, rate := range e.Rates.Rates {
-		pr, dpr, d2pr := e.Model.TransitionDeriv(b * rate)
-		p[r] = pr
-		// Chain rule: d/db exp(Q*rate*b) = rate * Q exp(...)
-		for i := 0; i < NumStates; i++ {
-			for j := 0; j < NumStates; j++ {
-				dpr[i][j] *= rate
-				d2pr[i][j] *= rate * rate
-			}
-		}
-		dp[r] = dpr
-		d2p[r] = d2pr
-	}
+	d := e.transitionDerivFlat(b)
+	nCat, stride := e.nCat, e.stride
 
 	for i := 0; i < e.nPat; i++ {
-		base := i * e.stride
+		base := i * stride
 		var l0, l1, l2 float64
-		for r := 0; r < e.nCat; r++ {
+		for r := 0; r < nCat; r++ {
 			off := base + r*NumStates
+			m := r * flatMatSize
+			pm := d.p[m : m+flatMatSize : m+flatMatSize]
+			dm := d.dp[m : m+flatMatSize : m+flatMatSize]
+			d2m := d.d2p[m : m+flatMatSize : m+flatMatSize]
+			v0, v1, v2, v3 := dv[off], dv[off+1], dv[off+2], dv[off+3]
 			for s := 0; s < NumStates; s++ {
 				os := ov[off+s]
 				if os == 0 {
 					continue
 				}
-				var s0, s1, s2 float64
-				for tt := 0; tt < NumStates; tt++ {
-					dvt := dv[off+tt]
-					s0 += p[r][s][tt] * dvt
-					s1 += dp[r][s][tt] * dvt
-					s2 += d2p[r][s][tt] * dvt
-				}
+				k := s * NumStates
+				s0 := pm[k]*v0 + pm[k+1]*v1 + pm[k+2]*v2 + pm[k+3]*v3
+				s1 := dm[k]*v0 + dm[k+1]*v1 + dm[k+2]*v2 + dm[k+3]*v3
+				s2 := d2m[k]*v0 + d2m[k+1]*v1 + d2m[k+2]*v2 + d2m[k+3]*v3
 				l0 += os * s0
 				l1 += os * s1
 				l2 += os * s2
@@ -395,7 +507,7 @@ func (e *Engine) edgeDerivatives(v *Node, b float64) (ll, d1, d2 float64) {
 		if l0 <= 0 {
 			l0 = math.SmallestNonzeroFloat64
 		}
-		w := e.Data.Weights[i]
+		w := weights[i]
 		sc := 0.0
 		if dscale != nil {
 			sc += dscale[i]
@@ -442,6 +554,12 @@ func (e *Engine) makenewz(v *Node) float64 {
 	}
 	return b
 }
+
+// MakenewzEdge exposes the makenewz() kernel on its own: it Newton-optimizes
+// the edge above v against the current down/out vectors and returns the
+// optimized length without mutating the tree. Refresh must have run first;
+// calibration uses it to time the kernel in isolation.
+func (e *Engine) MakenewzEdge(v *Node) float64 { return e.makenewz(v) }
 
 // optimizeEdge refreshes the conditional vectors and Newton-optimizes the
 // length of the edge above v, keeping the new length only if it genuinely

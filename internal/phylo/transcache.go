@@ -1,0 +1,159 @@
+package phylo
+
+// This file implements the Engine's transition-matrix cache: the flattened
+// storage for P(b·rate) across all rate categories, keyed by branch length.
+//
+// Motivation: the three likelihood kernels walk the same tree over and over —
+// computeDown/computeOut traversals revisit every branch once per smoothing
+// pass, and Makenewz re-evaluates the same few branch lengths across Newton
+// iterations and rounds. Recomputing exp(Q·b·rate) (an eigen-exponential for
+// GTR) per visit made matrix construction, not the per-pattern loops, the
+// dominant cost. Caching by branch length makes repeat visits free and keeps
+// the steady-state kernel loops allocation-free.
+//
+// Layout: one flat []float64 of nCat*flatMatSize entries per branch length;
+// category r occupies [r*flatMatSize, (r+1)*flatMatSize), row-major [from*4+to].
+// The flat layout is what the stride-indexed kernels in likelihood.go index
+// directly, with no [4][4] double indirection.
+//
+// Invalidation: a branch length is the key, so changing a length simply stops
+// hitting its old entry — no explicit invalidation is needed for branch
+// optimization. Mutating the Model or Rates in place is the only operation
+// that must call InvalidateTransitions.
+
+// flatMatSize is the number of entries of one flattened 4x4 matrix.
+const flatMatSize = NumStates * NumStates
+
+// maxCacheEntries bounds each cache map. A long tree search touches a stream
+// of distinct Newton-iterate branch lengths; when the bound is hit the whole
+// map is dropped (the working set — the tree's current branch lengths — is
+// rebuilt within one traversal). 4096 entries of a 4-category model are about
+// 2 MB per cache.
+const maxCacheEntries = 4096
+
+// derivTriple holds P(b), dP/db and d²P/db² for every rate category, in the
+// same flattened layout the kernels use. The chain-rule factors (rate, rate²)
+// are already folded in, so dp/d2p are derivatives with respect to the branch
+// length b itself.
+type derivTriple struct {
+	p, dp, d2p []float64
+}
+
+func newDerivTriple(nCat int) *derivTriple {
+	return &derivTriple{
+		p:   make([]float64, nCat*flatMatSize),
+		dp:  make([]float64, nCat*flatMatSize),
+		d2p: make([]float64, nCat*flatMatSize),
+	}
+}
+
+// initCache sets up the cache maps and the scratch buffers used when the
+// cache is disabled.
+func (e *Engine) initCache() {
+	e.cacheOn = true
+	e.probs = make(map[float64][]float64)
+	e.derivs = make(map[float64]*derivTriple)
+	e.transScratch[0] = make([]float64, e.nCat*flatMatSize)
+	e.transScratch[1] = make([]float64, e.nCat*flatMatSize)
+	e.derivScratch = newDerivTriple(e.nCat)
+}
+
+// SetTransitionCache toggles the transition-matrix cache. Disabling it forces
+// every kernel invocation to recompute its matrices into scratch buffers —
+// the reference path the equivalence tests compare against. The engine
+// defaults to caching on.
+func (e *Engine) SetTransitionCache(on bool) {
+	if e.cacheOn == on {
+		return
+	}
+	e.cacheOn = on
+	e.InvalidateTransitions()
+}
+
+// InvalidateTransitions drops every cached transition matrix. It must be
+// called after mutating e.Model or e.Rates in place; branch-length changes
+// need no invalidation because the length itself is the cache key.
+func (e *Engine) InvalidateTransitions() {
+	clear(e.probs)
+	clear(e.derivs)
+}
+
+// CachedTransitions returns the number of distinct branch lengths currently
+// held by the probability cache (diagnostics and tests).
+func (e *Engine) CachedTransitions() int { return len(e.probs) }
+
+// fillTransition writes the flattened per-category probability matrices for a
+// branch of length b into dst (len nCat*flatMatSize).
+func (e *Engine) fillTransition(dst []float64, b float64) {
+	for r, rate := range e.Rates.Rates {
+		m := e.Model.Transition(b * rate)
+		o := r * flatMatSize
+		for i := 0; i < NumStates; i++ {
+			for j := 0; j < NumStates; j++ {
+				dst[o+i*NumStates+j] = m[i][j]
+			}
+		}
+	}
+}
+
+// transitionFlat returns the flattened per-category transition matrices for a
+// branch of length b. With the cache on, repeat lookups for the same length
+// are free and allocation only happens on a miss; with the cache off, the
+// matrices are recomputed into the engine-owned scratch buffer for the given
+// slot (two slots exist so Newview can hold its left and right matrices at
+// the same time).
+func (e *Engine) transitionFlat(b float64, slot int) []float64 {
+	if e.cacheOn {
+		if p, ok := e.probs[b]; ok {
+			return p
+		}
+		if len(e.probs) >= maxCacheEntries {
+			clear(e.probs)
+		}
+		p := make([]float64, e.nCat*flatMatSize)
+		e.fillTransition(p, b)
+		e.probs[b] = p
+		return p
+	}
+	dst := e.transScratch[slot]
+	e.fillTransition(dst, b)
+	return dst
+}
+
+// fillTransitionDeriv writes P, dP/db and d²P/db² for branch length b into d,
+// folding the per-category chain-rule factors in.
+func (e *Engine) fillTransitionDeriv(d *derivTriple, b float64) {
+	for r, rate := range e.Rates.Rates {
+		p, dp, d2p := e.Model.TransitionDeriv(b * rate)
+		o := r * flatMatSize
+		for i := 0; i < NumStates; i++ {
+			for j := 0; j < NumStates; j++ {
+				k := o + i*NumStates + j
+				d.p[k] = p[i][j]
+				// Chain rule: d/db exp(Q·rate·b) = rate · Q·exp(...).
+				d.dp[k] = dp[i][j] * rate
+				d.d2p[k] = d2p[i][j] * rate * rate
+			}
+		}
+	}
+}
+
+// transitionDerivFlat is the derivative-set analogue of transitionFlat; the
+// Newton iterations of Makenewz revisit the same branch lengths, so in steady
+// state every lookup hits.
+func (e *Engine) transitionDerivFlat(b float64) *derivTriple {
+	if e.cacheOn {
+		if d, ok := e.derivs[b]; ok {
+			return d
+		}
+		if len(e.derivs) >= maxCacheEntries {
+			clear(e.derivs)
+		}
+		d := newDerivTriple(e.nCat)
+		e.fillTransitionDeriv(d, b)
+		e.derivs[b] = d
+		return d
+	}
+	e.fillTransitionDeriv(e.derivScratch, b)
+	return e.derivScratch
+}

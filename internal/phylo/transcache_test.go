@@ -1,0 +1,204 @@
+package phylo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// equivalenceCase is one (model, rates) configuration the cached and uncached
+// transition paths must agree on.
+type equivalenceCase struct {
+	name  string
+	model func(t *testing.T) Model
+	rates func(t *testing.T) RateCategories
+}
+
+func equivalenceCases() []equivalenceCase {
+	jc := func(t *testing.T) Model { return NewJC69() }
+	gtr := func(t *testing.T) Model {
+		g, err := NewGTR([6]float64{1.5, 3, 0.7, 1.2, 4, 1}, Frequencies{0.28, 0.22, 0.24, 0.26})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	single := func(t *testing.T) RateCategories { return SingleRate() }
+	gamma4 := func(t *testing.T) RateCategories {
+		rc, err := DiscreteGamma(0.7, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rc
+	}
+	return []equivalenceCase{
+		{"JC69/single", jc, single},
+		{"JC69/gamma4", jc, gamma4},
+		{"GTR/single", gtr, single},
+		{"GTR/gamma4", gtr, gamma4},
+	}
+}
+
+// TestCachedTransitionsMatchUncached asserts that the transition-matrix cache
+// never changes a likelihood: on random trees over a simulated alignment, the
+// cached engine and an uncached engine (which recomputes every matrix from
+// the model per kernel call) must produce identical log-likelihoods. Both
+// paths fill the same flattened layout with the same arithmetic, so the match
+// is exact, not merely within tolerance.
+func TestCachedTransitionsMatchUncached(t *testing.T) {
+	_, aln, err := Simulate(SimulateOptions{Taxa: 14, Length: 600, Seed: 99, MeanBranchLength: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range equivalenceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cached, err := NewEngine(data, tc.model(t), tc.rates(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			uncached, err := NewEngine(data, tc.model(t), tc.rates(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			uncached.SetTransitionCache(false)
+			for seed := int64(1); seed <= 3; seed++ {
+				tree, err := NewRandomTree(data.Names, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := uncached.LogLikelihood(tree)
+				got := cached.LogLikelihood(tree)
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Fatalf("tree %d: non-finite likelihood %v", seed, got)
+				}
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("tree %d: cached %v != uncached %v", seed, got, want)
+				}
+				if cached.CachedTransitions() == 0 {
+					t.Errorf("tree %d: cached engine did not populate its cache", seed)
+				}
+				if uncached.CachedTransitions() != 0 {
+					t.Errorf("tree %d: uncached engine grew a cache (%d entries)",
+						seed, uncached.CachedTransitions())
+				}
+			}
+		})
+	}
+}
+
+// TestCachedBranchOptimizationMatchesUncached runs full Newton branch
+// optimization — the heaviest cache consumer, exercising the derivative cache
+// across many branch lengths — on both paths and requires identical resulting
+// likelihoods and branch lengths.
+func TestCachedBranchOptimizationMatchesUncached(t *testing.T) {
+	_, aln, err := Simulate(SimulateOptions{Taxa: 10, Length: 400, Seed: 3, MeanBranchLength: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range equivalenceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			cached, _ := NewEngine(data, tc.model(t), tc.rates(t))
+			uncached, _ := NewEngine(data, tc.model(t), tc.rates(t))
+			uncached.SetTransitionCache(false)
+
+			treeA, err := NewRandomTree(data.Names, rand.New(rand.NewSource(8)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			treeB := treeA.Clone()
+			llA := cached.OptimizeAllBranches(treeA, 3)
+			llB := uncached.OptimizeAllBranches(treeB, 3)
+			if math.Abs(llA-llB) > 1e-12 {
+				t.Errorf("optimized likelihoods differ: cached %v vs uncached %v", llA, llB)
+			}
+			edgesA, edgesB := treeA.Edges(), treeB.Edges()
+			if len(edgesA) != len(edgesB) {
+				t.Fatalf("edge counts differ: %d vs %d", len(edgesA), len(edgesB))
+			}
+			for i := range edgesA {
+				if edgesA[i].Length != edgesB[i].Length {
+					t.Errorf("edge %d: cached length %v != uncached %v",
+						i, edgesA[i].Length, edgesB[i].Length)
+				}
+			}
+		})
+	}
+}
+
+// TestBranchLengthChangeBypassesStaleEntry verifies the invalidation story:
+// the branch length is the cache key, so changing a length must immediately
+// be reflected in the likelihood (no stale matrix reuse), and flushing the
+// cache must not change any value.
+func TestBranchLengthChangeBypassesStaleEntry(t *testing.T) {
+	_, aln, err := Simulate(SimulateOptions{Taxa: 8, Length: 300, Seed: 5, MeanBranchLength: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(data, NewJC69(), SingleRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewRandomTree(data.Names, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll0 := eng.LogLikelihood(tree)
+
+	edge := tree.Edges()[0]
+	old := edge.Length
+	edge.Length = old * 3.5
+	llChanged := eng.LogLikelihood(tree)
+	if llChanged == ll0 {
+		t.Fatalf("changing a branch length did not change the likelihood (stale cache entry?)")
+	}
+
+	// A fresh engine agrees with the warm-cached one on the modified tree.
+	fresh, _ := NewEngine(data, NewJC69(), SingleRate())
+	if want := fresh.LogLikelihood(tree); want != llChanged {
+		t.Errorf("warm cache %v != fresh engine %v", llChanged, want)
+	}
+
+	// Restoring the length restores the exact original value, and an
+	// explicit flush changes nothing.
+	edge.Length = old
+	if got := eng.LogLikelihood(tree); got != ll0 {
+		t.Errorf("restored tree: %v != original %v", got, ll0)
+	}
+	eng.InvalidateTransitions()
+	if eng.CachedTransitions() != 0 {
+		t.Errorf("InvalidateTransitions left %d entries", eng.CachedTransitions())
+	}
+	if got := eng.LogLikelihood(tree); got != ll0 {
+		t.Errorf("after flush: %v != original %v", got, ll0)
+	}
+}
+
+// TestCacheBoundIsEnforced drives more distinct branch lengths through the
+// engine than maxCacheEntries and checks the cache never exceeds its bound.
+func TestCacheBoundIsEnforced(t *testing.T) {
+	data := twoTaxonData(t, "ACGTACGTACGTACGT", "ACGAACGTACTTACGG")
+	eng, err := NewEngine(data, NewJC69(), SingleRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxCacheEntries+50; i++ {
+		b := 0.01 + float64(i)*1e-5
+		tree := twoTaxonTree(b, b/2)
+		eng.LogLikelihood(tree)
+		if n := eng.CachedTransitions(); n > maxCacheEntries {
+			t.Fatalf("cache grew to %d entries (bound %d)", n, maxCacheEntries)
+		}
+	}
+}

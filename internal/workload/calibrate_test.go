@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+
+	"cellmg/internal/sim"
+)
+
+// calOpts keeps the calibration input small so the test stays fast; the
+// kernel ordering and config-shape properties are size-independent.
+func calOpts() CalibrateOptions {
+	return CalibrateOptions{Taxa: 12, Length: 300, Seed: 7, Rounds: 1}
+}
+
+func TestCalibrateNativeMeasuresAllKernels(t *testing.T) {
+	cal, err := CalibrateNative(calOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Patterns <= 0 {
+		t.Fatalf("calibration reported %d patterns", cal.Patterns)
+	}
+	for _, k := range []FunctionClass{Newview, Evaluate, Makenewz} {
+		tm := cal.Timings[k]
+		if tm.Class != k {
+			t.Errorf("timing slot %v holds class %v", k, tm.Class)
+		}
+		if tm.MeanCall <= 0 || tm.Calls <= 0 {
+			t.Errorf("%v: mean call %v over %d calls", k, tm.MeanCall, tm.Calls)
+		}
+	}
+	// makenewz runs a full Newton loop per call; evaluate is a single
+	// reduction. The ordering is machine-independent.
+	if !(cal.Timings[Evaluate].MeanCall < cal.Timings[Makenewz].MeanCall) {
+		t.Errorf("evaluate (%v) should be cheaper than makenewz (%v)",
+			cal.Timings[Evaluate].MeanCall, cal.Timings[Makenewz].MeanCall)
+	}
+	if cal.String() == "" {
+		t.Errorf("calibration should format itself")
+	}
+}
+
+func TestCalibrationConfigIsConsistent(t *testing.T) {
+	cal, err := CalibrateNative(calOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cal.Config()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("calibrated config invalid: %v", err)
+	}
+	if cfg.Name == RAxML42SC().Name {
+		t.Errorf("calibrated config should be distinguishable from the paper model")
+	}
+	base := RAxML42SC()
+	for i, f := range cfg.Functions {
+		if f.LoopIterations != cal.Patterns {
+			t.Errorf("%s: loop trip count %d, want measured %d", f.Name, f.LoopIterations, cal.Patterns)
+		}
+		if f.SPETime != sim.Duration(cal.Timings[f.Class].MeanCall.Nanoseconds()) {
+			t.Errorf("%s: SPETime %v does not match measurement %v", f.Name, f.SPETime, cal.Timings[f.Class].MeanCall)
+		}
+		// Structural ratios are inherited from the paper model.
+		wantNaive := float64(base.Functions[i].NaiveSPETime) / float64(base.Functions[i].SPETime)
+		gotNaive := float64(f.NaiveSPETime) / float64(f.SPETime)
+		if relErr(gotNaive, wantNaive) > 0.01 {
+			t.Errorf("%s: naive/optimized ratio %.3f, want %.3f", f.Name, gotNaive, wantNaive)
+		}
+	}
+	// The 90/10 SPE/PPE split must be preserved.
+	if cov := cfg.SPECoverage(); cov < 0.88 || cov > 0.92 {
+		t.Errorf("calibrated SPE coverage %.3f, want ~0.90", cov)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := a/b - 1
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
