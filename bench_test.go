@@ -14,12 +14,21 @@ package cellmg
 // produced by `go run ./cmd/experiments`.
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"cellmg/internal/experiments"
 	"cellmg/internal/native"
 	"cellmg/internal/phylo"
 	"cellmg/internal/sched"
+	"cellmg/internal/server"
+	"cellmg/internal/stats"
 	"cellmg/internal/workload"
 )
 
@@ -241,3 +250,107 @@ func BenchmarkNative_MGPS(b *testing.B) { benchNative(b, native.MGPS, 2, 6) }
 // BenchmarkNative_LowTaskParallelism is the regime the paper motivates LLP
 // with: fewer concurrent tree searches than workers.
 func BenchmarkNative_LowTaskParallelism(b *testing.B) { benchNative(b, native.MGPS, 2, 0) }
+
+// --- Job-server benchmarks ------------------------------------------------
+
+// benchServer drives N concurrent HTTP clients against one job server
+// sharing a single runtime — the multi-tenant serving regime of the ISSUE —
+// and reports jobs/sec plus p50/p99 submit-to-done latency.
+func benchServer(b *testing.B, policy native.PolicyKind, clients int) {
+	srv := server.New(server.Options{
+		Workers:       8,
+		Policy:        policy,
+		MaxConcurrent: clients,
+		QueueCapacity: 4 * clients,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	submitAndWait := func(seed int64) (time.Duration, error) {
+		spec := server.JobSpec{
+			Seed:       seed,
+			Inferences: 1,
+			Bootstraps: 1,
+			Search:     server.SearchSpec{SmoothingRounds: 1, MaxRounds: 1, Epsilon: 0.1},
+			Simulate:   &server.SimulateSpec{Taxa: 8, Length: 200, Seed: seed},
+		}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		var st server.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		for !st.State.Terminal() {
+			time.Sleep(2 * time.Millisecond)
+			r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+			if err != nil {
+				return 0, err
+			}
+			err = json.NewDecoder(r.Body).Decode(&st)
+			r.Body.Close()
+			if err != nil {
+				return 0, err
+			}
+		}
+		if st.State != server.StateDone {
+			return 0, fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		return time.Since(start), nil
+	}
+
+	var mu sync.Mutex
+	var latencies []float64
+	jobs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				lat, err := submitAndWait(int64(1000*i + c))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				mu.Lock()
+				latencies = append(latencies, float64(lat)/float64(time.Millisecond))
+				jobs++
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+	b.ReportMetric(stats.Percentile(latencies, 0.5), "p50_ms")
+	b.ReportMetric(stats.Percentile(latencies, 0.99), "p99_ms")
+}
+
+// BenchmarkServerThroughput_EDTLP measures the job server with the static
+// task-level policy: every task gets one worker, loop parallelism off.
+func BenchmarkServerThroughput_EDTLP(b *testing.B) { benchServer(b, native.EDTLP, 8) }
+
+// BenchmarkServerThroughput_MGPS is the same load under the adaptive policy,
+// which work-shares loops whenever the tenants' combined streams leave
+// workers idle.
+func BenchmarkServerThroughput_MGPS(b *testing.B) { benchServer(b, native.MGPS, 8) }
+
+// BenchmarkServerThroughput_MGPS_FewClients is the under-subscribed regime
+// (2 clients on 8 workers) where the paper's LLP switch pays off.
+func BenchmarkServerThroughput_MGPS_FewClients(b *testing.B) { benchServer(b, native.MGPS, 2) }

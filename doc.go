@@ -18,6 +18,22 @@
 // E11 (internal/experiments) ties the halves together by timing the real
 // kernels and re-running the scheduler comparison on the measured costs.
 //
+// On top of the native half sits the serving layer (internal/server,
+// cmd/cellmg-serve): an HTTP/JSON job API whose accepted jobs all feed one
+// shared runtime, so the MGPS policy adapts to the union of every tenant's
+// off-loads — live traffic standing in for the paper's concurrent MPI
+// processes. The request lifecycle is
+//
+//	client -> POST /v1/jobs -> admission -> bounded priority queue
+//	       -> shared native.Runtime (one Submitter per inference/bootstrap)
+//	       -> SSE progress on GET /v1/jobs/{id}/events, result on GET,
+//	          cancellation via DELETE, per-tenant rollups on /v1/metrics.
+//
+// Jobs are deterministic under multi-tenancy (per-task seeds are splitmix64-
+// derived from the job seed, never shared generators) and cancellable
+// mid-search (context plumbing through RunAnalysisContext, OffloadContext,
+// and SearchContext frees workers at the next NNI evaluation).
+//
 // Verify with:
 //
 //	go build ./... && go test ./...

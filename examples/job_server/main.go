@@ -1,0 +1,151 @@
+// Job server walkthrough: multi-tenant analyses over one shared runtime.
+//
+// Starts the serving layer in-process on a loopback listener, then acts as
+// two tenants submitting jobs over real HTTP: alice streams her job's
+// progress events (SSE) while bob polls his status, one job is cancelled
+// mid-run, and the per-tenant metrics are printed at the end — the same
+// union-of-tenants view the MGPS policy adapts to.
+//
+//	go run ./examples/job_server
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"cellmg/internal/native"
+	"cellmg/internal/server"
+)
+
+func main() {
+	srv := server.New(server.Options{Workers: 8, Policy: native.MGPS, MaxConcurrent: 3})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("job server listening on %s\n\n", base)
+
+	// Tenant alice: a small analysis whose progress we stream.
+	alice := submit(base, map[string]any{
+		"tenant": "alice", "seed": 42, "inferences": 2, "bootstraps": 4,
+		"search":   map[string]any{"smoothing_rounds": 2, "max_rounds": 2, "epsilon": 0.05},
+		"simulate": map[string]any{"taxa": 10, "length": 400, "seed": 7},
+	})
+	fmt.Printf("alice submitted %s\n", alice)
+
+	// Tenant bob: one job that completes, one that gets cancelled mid-run.
+	bob := submit(base, map[string]any{
+		"tenant": "bob", "seed": 1, "inferences": 1, "bootstraps": 3,
+		"search":   map[string]any{"smoothing_rounds": 2, "max_rounds": 2, "epsilon": 0.05},
+		"simulate": map[string]any{"taxa": 8, "length": 300, "seed": 9},
+	})
+	doomed := submit(base, map[string]any{
+		"tenant": "bob", "seed": 2, "inferences": 2, "bootstraps": 8,
+		"search":   map[string]any{"smoothing_rounds": 6, "max_rounds": 32, "epsilon": 1e-12},
+		"simulate": map[string]any{"taxa": 14, "length": 800, "seed": 11},
+	})
+	fmt.Printf("bob submitted %s and %s\n\n", bob, doomed)
+
+	// Stream alice's events over SSE until her job completes.
+	fmt.Println("alice's event stream:")
+	resp, err := http.Get(base + "/v1/jobs/" + alice + "/events")
+	if err != nil {
+		fail(err)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		if line := scanner.Text(); strings.HasPrefix(line, "event: ") {
+			fmt.Printf("  %s\n", strings.TrimPrefix(line, "event: "))
+		}
+	}
+	resp.Body.Close()
+
+	// Cancel bob's long job mid-run; its workers return to the pool.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+doomed, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	fmt.Printf("\ncancelled %s mid-run\n", doomed)
+
+	// Wait for bob's small job and print the final states.
+	for _, id := range []string{alice, bob, doomed} {
+		st := wait(base, id)
+		line := fmt.Sprintf("%s: %-9s queue %.0fms", id, st.State, st.QueueWaitMS)
+		if st.Result != nil {
+			line += fmt.Sprintf("  best log-likelihood %.4f", st.Result.BestLogLik)
+		}
+		fmt.Println(line)
+	}
+
+	// Per-tenant accounting from the shared runtime's stats sinks.
+	var snap server.MetricsSnapshot
+	get(base+"/v1/metrics", &snap)
+	fmt.Printf("\nper-tenant metrics (policy %s, final decision %s, %d tasks run):\n",
+		snap.Runtime.Policy, snap.Runtime.Decision, snap.Runtime.TasksRun)
+	for _, tenant := range []string{"alice", "bob"} {
+		tm := snap.Tenants[tenant]
+		fmt.Printf("  %-6s done %d cancelled %d | offloads %d (%d work-shared) | kernel time %v\n",
+			tenant, tm.Completed, tm.Cancelled, tm.Offloads.Offloads,
+			tm.Offloads.WorkShared, tm.Offloads.RunTotal.Round(time.Millisecond))
+	}
+}
+
+func submit(base string, spec map[string]any) string {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		fail(fmt.Errorf("submit: HTTP %d", resp.StatusCode))
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fail(err)
+	}
+	return st.ID
+}
+
+func wait(base, id string) server.JobStatus {
+	for {
+		var st server.JobStatus
+		get(base+"/v1/jobs/"+id, &st)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func get(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "job_server:", err)
+	os.Exit(1)
+}

@@ -1,11 +1,14 @@
 package native
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 
 	"cellmg/internal/phylo"
+	"cellmg/internal/stats"
 )
 
 // AnalysisOptions configures a parallel RAxML-style analysis: a number of
@@ -20,6 +23,27 @@ type AnalysisOptions struct {
 	// Model and Rates default to JC69 with a single rate category.
 	Model phylo.Model
 	Rates phylo.RateCategories
+	// Progress, when non-nil, is invoked once per completed task (inference
+	// or bootstrap). Calls are serialized by the driver, so the callback
+	// needs no locking of its own.
+	Progress func(AnalysisProgress)
+	// Sink, when non-nil, receives one stats.OffloadEvent per off-loaded
+	// task (queue wait, run time, granted workers) — the hook the job server
+	// uses to account shared-runtime work to individual jobs.
+	Sink stats.OffloadSink
+}
+
+// AnalysisProgress is a snapshot handed to AnalysisOptions.Progress after a
+// task completes.
+type AnalysisProgress struct {
+	// Completed counts finished tasks; Total is Inferences+Bootstraps.
+	Completed int
+	Total     int
+	// Bootstrap and Index identify the task that just finished.
+	Bootstrap bool
+	Index     int
+	// LogLik is the task's final log-likelihood.
+	LogLik float64
 }
 
 // AnalysisResult mirrors phylo.AnalysisResult; the parallel driver must
@@ -42,6 +66,21 @@ type AnalysisResult struct {
 // picture the paper's PPE scheduler sees: as many concurrent task streams as
 // there are outstanding tree searches.
 func RunAnalysis(rt *Runtime, data *phylo.PatternAlignment, opts AnalysisOptions) (*AnalysisResult, error) {
+	return RunAnalysisContext(context.Background(), rt, data, opts)
+}
+
+// RunAnalysisContext is RunAnalysis with cancellation. When ctx is cancelled
+// — or when any task fails — the remaining tasks are cancelled promptly:
+// searches abort at their next NNI evaluation and queued submitters return
+// without ever occupying a worker, so the pool is free for other tenants
+// within one task quantum. The first real failure (not a cancellation it
+// caused) is the returned error.
+//
+// Results are a pure function of (data, opts): every task's randomness is
+// derived with phylo.DeriveSeed from the analysis seed and the task's own
+// index, so concurrent analyses interleaved on one shared runtime produce
+// bit-identical results to serial runs.
+func RunAnalysisContext(ctx context.Context, rt *Runtime, data *phylo.PatternAlignment, opts AnalysisOptions) (*AnalysisResult, error) {
 	if opts.Inferences <= 0 {
 		opts.Inferences = 1
 	}
@@ -73,37 +112,74 @@ func RunAnalysis(rt *Runtime, data *phylo.PatternAlignment, opts AnalysisOptions
 		jobs = append(jobs, job{bootstrap: true, index: b})
 	}
 
-	// Bootstrap weights are drawn up front from a single deterministic
-	// stream so the result does not depend on task completion order.
-	bootWeights := make([][]float64, opts.Bootstraps)
-	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5deece66d))
-	for b := 0; b < opts.Bootstraps; b++ {
-		bootWeights[b] = phylo.BootstrapWeights(data, rng)
+	// A failing task cancels every other task of this analysis promptly
+	// instead of letting them run to completion; the cause distinguishes a
+	// real failure from an external cancellation.
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancel(err)
+		})
+	}
+
+	var progressMu sync.Mutex
+	completed := 0
+	report := func(j job, loglik float64) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		completed++
+		opts.Progress(AnalysisProgress{
+			Completed: completed,
+			Total:     len(jobs),
+			Bootstrap: j.bootstrap,
+			Index:     j.index,
+			LogLik:    loglik,
+		})
+		progressMu.Unlock()
 	}
 
 	results := make([]outcome, len(jobs))
 	var wg sync.WaitGroup
 	for ji, j := range jobs {
 		ji, j := ji, j
-		sub := rt.NewSubmitter()
+		var sub *Submitter
+		if opts.Sink != nil {
+			sub = rt.NewSubmitterWithSink(opts.Sink)
+		} else {
+			sub = rt.NewSubmitter()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			err := sub.Offload(func(tc *TaskContext) {
+			err := sub.OffloadContext(ctx, func(tc *TaskContext) {
 				taskData := data
-				seed := opts.Seed + int64(j.index)
+				var seed int64
 				if j.bootstrap {
+					// The replicate's resample is a pure function of
+					// (analysis seed, replicate index) — no generator is
+					// shared across tasks, so completion order is irrelevant.
+					wrng := rand.New(rand.NewSource(phylo.DeriveSeed(opts.Seed, phylo.SeedStreamBootstrapWeights, j.index)))
 					var werr error
-					taskData, werr = data.WithWeights(bootWeights[j.index])
+					taskData, werr = data.WithWeights(phylo.BootstrapWeights(data, wrng))
 					if werr != nil {
 						results[ji] = outcome{job: j, err: werr}
+						fail(werr)
 						return
 					}
-					seed = opts.Seed + 1000 + int64(j.index)
+					seed = phylo.DeriveSeed(opts.Seed, phylo.SeedStreamBootstrapSearch, j.index)
+				} else {
+					seed = phylo.DeriveSeed(opts.Seed, phylo.SeedStreamInference, j.index)
 				}
 				eng, err := phylo.NewEngine(taskData, model, rates)
 				if err != nil {
 					results[ji] = outcome{job: j, err: err}
+					fail(err)
 					return
 				}
 				// Loop-level parallelism: the engine's pattern loops run on
@@ -111,12 +187,16 @@ func RunAnalysis(rt *Runtime, data *phylo.PatternAlignment, opts AnalysisOptions
 				eng.SetParallel(tc.ParallelFor)
 				so := opts.Search
 				so.Seed = seed
-				sr, err := eng.Search(so)
+				sr, err := eng.SearchContext(ctx, so)
 				if err != nil {
 					results[ji] = outcome{job: j, err: err}
+					if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+						fail(err)
+					}
 					return
 				}
 				results[ji] = outcome{job: j, tree: sr.Tree, loglik: sr.LogLikelihood}
+				report(j, sr.LogLikelihood)
 			})
 			if err != nil && results[ji].err == nil {
 				results[ji] = outcome{job: j, err: err}
@@ -124,6 +204,13 @@ func RunAnalysis(rt *Runtime, data *phylo.PatternAlignment, opts AnalysisOptions
 		}()
 	}
 	wg.Wait()
+
+	if firstErr != nil {
+		return nil, fmt.Errorf("native: task failed: %w", firstErr)
+	}
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
 
 	res := &AnalysisResult{BestLogLik: -1e308}
 	res.InferenceLogs = make([]float64, opts.Inferences)

@@ -22,6 +22,7 @@
 package native
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"cellmg/internal/policy"
+	"cellmg/internal/stats"
 )
 
 // PolicyKind selects how the runtime assigns workers to off-loaded tasks.
@@ -221,14 +223,25 @@ func (r *Runtime) Stats() Stats {
 // Submitter is one independent stream of off-loadable tasks — the analogue of
 // one MPI process on the PPE.
 type Submitter struct {
-	rt *Runtime
-	id int
+	rt   *Runtime
+	id   int
+	sink stats.OffloadSink
 }
 
 // NewSubmitter registers a new task stream.
 func (r *Runtime) NewSubmitter() *Submitter {
 	id := int(atomic.AddInt64(&r.nextSub, 1))
 	return &Submitter{rt: r, id: id}
+}
+
+// NewSubmitterWithSink registers a task stream whose completed off-loads are
+// reported to sink (queue wait, run time, granted group size). The job server
+// uses this to account runtime work to individual jobs and tenants while they
+// all share one pool.
+func (r *Runtime) NewSubmitterWithSink(sink stats.OffloadSink) *Submitter {
+	s := r.NewSubmitter()
+	s.sink = sink
+	return s
 }
 
 // TaskContext is passed to an off-loaded task body; it exposes the loop-level
@@ -278,7 +291,31 @@ func (tc *TaskContext) GroupSize() int { return len(tc.group) }
 // submitters keep feeding the pool. The task body runs on a worker; its
 // parallel loops run on the task's worker group via TaskContext.ParallelFor.
 func (s *Submitter) Offload(fn func(tc *TaskContext)) error {
+	return s.OffloadContext(context.Background(), fn)
+}
+
+// OffloadContext is Offload with cancellation: if ctx is cancelled while the
+// submitter is still queued for workers, the call returns ctx's error without
+// consuming any pool capacity. Once a worker group has been granted the body
+// runs to completion — a body that should stop early must observe ctx itself
+// (phylo's SearchContext does), after which the group is released as usual.
+func (s *Submitter) OffloadContext(ctx context.Context, fn func(tc *TaskContext)) error {
 	r := s.rt
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// A cancellation while we sleep on the condition variable must wake us;
+	// the broadcast is harmless for every other waiter (they re-check their
+	// own state and go back to sleep).
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			r.mu.Lock()
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		})
+		defer stop()
+	}
+	enqueued := time.Now()
 
 	r.mu.Lock()
 	if r.closed {
@@ -310,7 +347,20 @@ func (s *Submitter) Offload(fn func(tc *TaskContext)) error {
 		if ok {
 			break
 		}
+		// Check before waiting as well as after: a cancellation that fired
+		// between the entry check and acquiring r.mu has already issued its
+		// broadcast, and sleeping now would miss it.
+		if err := ctx.Err(); err != nil {
+			r.active--
+			r.mu.Unlock()
+			return err
+		}
 		r.cond.Wait()
+		if err := ctx.Err(); err != nil {
+			r.active--
+			r.mu.Unlock()
+			return err
+		}
 		if r.closed {
 			r.active--
 			r.mu.Unlock()
@@ -321,6 +371,7 @@ func (s *Submitter) Offload(fn func(tc *TaskContext)) error {
 		r.mgps.RecordOffload(s.id, group[0])
 	}
 	r.mu.Unlock()
+	granted := time.Now()
 
 	// Run the task body on the master worker.
 	tc := &TaskContext{rt: r, group: group, master: group[0]}
@@ -344,6 +395,16 @@ func (s *Submitter) Offload(fn func(tc *TaskContext)) error {
 	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
+
+	if s.sink != nil {
+		s.sink.RecordOffload(stats.OffloadEvent{
+			Submitter:  s.id,
+			QueueWait:  granted.Sub(enqueued),
+			Run:        time.Since(granted),
+			Workers:    len(group),
+			WorkShared: len(group) > 1,
+		})
+	}
 	return nil
 }
 

@@ -98,6 +98,12 @@ type AnalysisResult struct {
 // parallel version (each inference/bootstrap is an independent task, exactly
 // the task-level parallelism the paper exploits); this serial implementation
 // is the reference the parallel one is checked against.
+//
+// Every replicate's randomness — the inference starting trees, the bootstrap
+// column resamples, and the bootstrap starting trees — is seeded by
+// DeriveSeed(opts.Seed, stream, index), so replicate b is a pure function of
+// (seed, b) with no shared generator state. The parallel driver derives the
+// same seeds, which is what makes its results independent of interleaving.
 func RunAnalysis(data *PatternAlignment, model Model, rates RateCategories, opts AnalysisOptions) (*AnalysisResult, error) {
 	if opts.Inferences <= 0 {
 		opts.Inferences = 1
@@ -109,7 +115,7 @@ func RunAnalysis(data *PatternAlignment, model Model, rates RateCategories, opts
 			return nil, err
 		}
 		so := opts.Search
-		so.Seed = opts.Seed + int64(i)
+		so.Seed = DeriveSeed(opts.Seed, SeedStreamInference, i)
 		sr, err := eng.Search(so)
 		if err != nil {
 			return nil, err
@@ -120,8 +126,8 @@ func RunAnalysis(data *PatternAlignment, model Model, rates RateCategories, opts
 			res.BestTree = sr.Tree
 		}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5deece66d))
 	for b := 0; b < opts.Bootstraps; b++ {
+		rng := rand.New(rand.NewSource(DeriveSeed(opts.Seed, SeedStreamBootstrapWeights, b)))
 		rep, err := Bootstrap(data, rng)
 		if err != nil {
 			return nil, err
@@ -131,7 +137,7 @@ func RunAnalysis(data *PatternAlignment, model Model, rates RateCategories, opts
 			return nil, err
 		}
 		so := opts.Search
-		so.Seed = opts.Seed + 1000 + int64(b)
+		so.Seed = DeriveSeed(opts.Seed, SeedStreamBootstrapSearch, b)
 		sr, err := eng.Search(so)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package phylo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -17,6 +18,23 @@ type SearchOptions struct {
 	Epsilon float64
 	// Seed drives the randomized starting tree.
 	Seed int64
+	// Progress, when non-nil, is invoked after every completed NNI sweep
+	// (and once before the first). It must be cheap; it runs on the search's
+	// goroutine (under the native runtime, that is the task's master worker).
+	Progress func(SearchProgress)
+}
+
+// SearchProgress is a snapshot handed to SearchOptions.Progress.
+type SearchProgress struct {
+	// Round is the number of completed NNI sweeps (0 before the first).
+	Round int
+	// MaxRounds echoes the option, so a callback can compute a fraction.
+	MaxRounds int
+	// LogLikelihood is the incumbent log-likelihood.
+	LogLikelihood float64
+	// NNIEvaluated and NNIAccepted count rearrangements so far.
+	NNIEvaluated int
+	NNIAccepted  int
 }
 
 // DefaultSearchOptions returns the settings used by the examples and
@@ -47,17 +65,30 @@ type SearchResult struct {
 // all nearest-neighbour interchanges, accepting improvements, until a sweep
 // yields none (or MaxRounds is reached).
 func (e *Engine) Search(opts SearchOptions) (*SearchResult, error) {
+	return e.SearchContext(context.Background(), opts)
+}
+
+// SearchContext is Search with cancellation: the search checks ctx between
+// NNI evaluations and aborts with ctx's error, so a cancelled caller gets its
+// worker back after at most one branch-optimization pass rather than after
+// the full search.
+func (e *Engine) SearchContext(ctx context.Context, opts SearchOptions) (*SearchResult, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	tree, err := NewRandomTree(e.Data.Names, rng)
 	if err != nil {
 		return nil, err
 	}
-	return e.SearchFrom(tree, opts)
+	return e.SearchFromContext(ctx, tree, opts)
 }
 
 // SearchFrom runs the hill-climbing search from a given starting tree (which
 // is modified in place and returned in the result).
 func (e *Engine) SearchFrom(tree *Tree, opts SearchOptions) (*SearchResult, error) {
+	return e.SearchFromContext(context.Background(), tree, opts)
+}
+
+// SearchFromContext is SearchFrom with cancellation (see SearchContext).
+func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchOptions) (*SearchResult, error) {
 	if opts.SmoothingRounds <= 0 {
 		opts.SmoothingRounds = 1
 	}
@@ -67,9 +98,25 @@ func (e *Engine) SearchFrom(tree *Tree, opts SearchOptions) (*SearchResult, erro
 	if err := tree.Validate(); err != nil {
 		return nil, fmt.Errorf("phylo: invalid starting tree: %v", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &SearchResult{Tree: tree}
 	best := e.OptimizeAllBranches(tree, opts.SmoothingRounds)
 	res.StartLogLik = best
+
+	report := func(round int) {
+		if opts.Progress != nil {
+			opts.Progress(SearchProgress{
+				Round:         round,
+				MaxRounds:     opts.MaxRounds,
+				LogLikelihood: best,
+				NNIEvaluated:  res.NNIEvaluated,
+				NNIAccepted:   res.NNIAccepted,
+			})
+		}
+	}
+	report(0)
 
 	// saveLengths/restoreLengths snapshot every branch length so that a
 	// rejected rearrangement leaves no trace: the candidate evaluation
@@ -92,6 +139,9 @@ func (e *Engine) SearchFrom(tree *Tree, opts SearchOptions) (*SearchResult, erro
 		res.Rounds++
 		improvedThisRound := false
 		for _, move := range tree.NNIMoves() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			res.NNIEvaluated++
 			saved := saveLengths()
 			move.Apply()
@@ -108,6 +158,7 @@ func (e *Engine) SearchFrom(tree *Tree, opts SearchOptions) (*SearchResult, erro
 				restoreLengths(saved)
 			}
 		}
+		report(res.Rounds)
 		if !improvedThisRound {
 			break
 		}

@@ -185,3 +185,49 @@ func TestDefaultSearchOptionsSane(t *testing.T) {
 		t.Errorf("default search options not positive: %+v", o)
 	}
 }
+
+func TestSearchProgressReportsEverySweep(t *testing.T) {
+	_, aln, err := Simulate(SimulateOptions{Taxa: 8, Length: 300, Seed: 3, MeanBranchLength: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(data, NewJC69(), SingleRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []SearchProgress
+	res, err := eng.Search(SearchOptions{
+		SmoothingRounds: 2,
+		MaxRounds:       4,
+		Epsilon:         0.05,
+		Seed:            9,
+		Progress: func(p SearchProgress) {
+			events = append(events, p)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One report before the first sweep plus one per completed sweep.
+	if len(events) != res.Rounds+1 {
+		t.Fatalf("progress events = %d, want %d (rounds %d + initial)", len(events), res.Rounds+1, res.Rounds)
+	}
+	for i, ev := range events {
+		if ev.Round != i {
+			t.Errorf("event %d: round = %d", i, ev.Round)
+		}
+		if ev.MaxRounds != 4 {
+			t.Errorf("event %d: max rounds = %d", i, ev.MaxRounds)
+		}
+		if i > 0 && ev.LogLikelihood < events[i-1].LogLikelihood {
+			t.Errorf("log-likelihood regressed between sweeps: %v -> %v", events[i-1].LogLikelihood, ev.LogLikelihood)
+		}
+	}
+	if last := events[len(events)-1]; last.NNIEvaluated != res.NNIEvaluated || last.NNIAccepted != res.NNIAccepted {
+		t.Errorf("final progress %+v does not match result %+v", last, res)
+	}
+}

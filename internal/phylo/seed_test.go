@@ -1,0 +1,48 @@
+package phylo
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDeriveSeedNonNegativeAndDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		for _, stream := range []int{SeedStreamInference, SeedStreamBootstrapSearch, SeedStreamBootstrapWeights} {
+			for index := 0; index < 64; index++ {
+				s := DeriveSeed(seed, stream, index)
+				if s < 0 {
+					t.Fatalf("DeriveSeed(%d,%d,%d) = %d < 0", seed, stream, index, s)
+				}
+				id := fmt.Sprintf("DeriveSeed(%d,%d,%d)", seed, stream, index)
+				if prev, ok := seen[s]; ok {
+					t.Fatalf("collision: %s == %s", id, prev)
+				}
+				seen[s] = id
+			}
+		}
+	}
+}
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, SeedStreamBootstrapWeights, 9)
+	b := DeriveSeed(42, SeedStreamBootstrapWeights, 9)
+	if a != b {
+		t.Fatalf("not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestSplitMix64Avalanche(t *testing.T) {
+	// Consecutive inputs must differ in many bits after mixing.
+	for x := uint64(0); x < 100; x++ {
+		diff := SplitMix64(x) ^ SplitMix64(x+1)
+		bits := 0
+		for diff != 0 {
+			bits += int(diff & 1)
+			diff >>= 1
+		}
+		if bits < 10 {
+			t.Fatalf("weak avalanche at %d: only %d differing bits", x, bits)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry of a job's progress stream. Events are totally ordered
+// per job by Seq; clients that reconnect replay the full history, so a
+// consumer never misses the terminal event.
+type Event struct {
+	Seq  int            `json:"seq"`
+	Time time.Time      `json:"time"`
+	Type string         `json:"type"`
+	Data map[string]any `json:"data,omitempty"`
+}
+
+// Event types emitted over a job's lifetime.
+const (
+	EventQueued    = "queued"
+	EventStarted   = "started"
+	EventProgress  = "progress"
+	EventDone      = "done"
+	EventFailed    = "failed"
+	EventCancelled = "cancelled"
+)
+
+// subscriberBuffer is the per-subscriber channel depth. A consumer that falls
+// further behind than this has events dropped (the history remains complete
+// and can be re-read by reconnecting); the producer never blocks on a slow
+// client, because it runs on a job-runner goroutine.
+const subscriberBuffer = 256
+
+// EventLog is an append-only, fan-out event history for one job. Append and
+// Subscribe are safe for concurrent use.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+// NewEventLog returns an empty log.
+func NewEventLog() *EventLog {
+	return &EventLog{subs: map[chan Event]struct{}{}}
+}
+
+// Append records an event and fans it out to live subscribers. Appends after
+// Close are dropped (the job is terminal; nothing meaningful can follow).
+func (l *EventLog) Append(typ string, data map[string]any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	ev := Event{Seq: len(l.events) + 1, Time: time.Now().UTC(), Type: typ, Data: data}
+	l.events = append(l.events, ev)
+	for ch := range l.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop, history stays complete
+		}
+	}
+}
+
+// Close marks the log terminal and closes every subscriber channel. It is
+// called exactly once, after the job's terminal event has been appended.
+func (l *EventLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for ch := range l.subs {
+		close(ch)
+	}
+	l.subs = map[chan Event]struct{}{}
+}
+
+// Snapshot returns a copy of the history so far.
+func (l *EventLog) Snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Subscribe returns the history so far plus a channel of subsequent events.
+// The channel is closed when the log closes (job reached a terminal state) or
+// when the returned cancel function runs; cancel is idempotent and must be
+// called to release the subscription.
+func (l *EventLog) Subscribe() (replay []Event, live <-chan Event, cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	replay = append([]Event(nil), l.events...)
+	ch := make(chan Event, subscriberBuffer)
+	if l.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	l.subs[ch] = struct{}{}
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			l.mu.Lock()
+			if _, ok := l.subs[ch]; ok {
+				delete(l.subs, ch)
+				close(ch)
+			}
+			l.mu.Unlock()
+		})
+	}
+	return replay, ch, cancel
+}
+
+// writeSSE renders one event in text/event-stream framing.
+func writeSSE(w io.Writer, ev Event) error {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, payload)
+	return err
+}

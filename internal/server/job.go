@@ -1,0 +1,386 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cellmg/internal/native"
+	"cellmg/internal/phylo"
+	"cellmg/internal/stats"
+)
+
+// Priority is a job's admission class. Lower values are served first; within
+// a class the queue is FIFO.
+type Priority int
+
+const (
+	// PriorityInteractive is for latency-sensitive submissions (the default).
+	PriorityInteractive Priority = iota
+	// PriorityBatch is for throughput work that may wait behind interactive
+	// jobs.
+	PriorityBatch
+	numPriorities
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityInteractive:
+		return "interactive"
+	case PriorityBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// ParsePriority maps the wire form to a Priority; the empty string is
+// interactive.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "interactive":
+		return PriorityInteractive, nil
+	case "batch":
+		return PriorityBatch, nil
+	default:
+		return 0, fmt.Errorf("unknown priority %q (want interactive or batch)", s)
+	}
+}
+
+// SimulateSpec asks the server to synthesize the input alignment — the same
+// generator cmd/raxml-go uses for demo inputs. Deterministic in Seed.
+type SimulateSpec struct {
+	Taxa             int     `json:"taxa"`
+	Length           int     `json:"length"`
+	Seed             int64   `json:"seed"`
+	MeanBranchLength float64 `json:"mean_branch_length,omitempty"`
+}
+
+// SequenceSpec is one aligned sequence of an inline alignment.
+type SequenceSpec struct {
+	Name string `json:"name"`
+	Seq  string `json:"seq"`
+}
+
+// SearchSpec is the JSON form of phylo.SearchOptions (the seed comes from the
+// job, the progress hook from the server).
+type SearchSpec struct {
+	SmoothingRounds int     `json:"smoothing_rounds,omitempty"`
+	MaxRounds       int     `json:"max_rounds,omitempty"`
+	Epsilon         float64 `json:"epsilon,omitempty"`
+}
+
+// JobSpec is the body of POST /v1/jobs: one full analysis request. Exactly
+// one of Simulate or Sequences provides the alignment.
+type JobSpec struct {
+	// Tenant attributes the job's queueing, off-loads and kernel time in
+	// /v1/metrics; empty means the "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is "interactive" (default) or "batch".
+	Priority string `json:"priority,omitempty"`
+
+	Inferences int   `json:"inferences,omitempty"`
+	Bootstraps int   `json:"bootstraps,omitempty"`
+	Seed       int64 `json:"seed"`
+	// Gamma, when positive, enables 4-category discrete-Gamma rate
+	// heterogeneity with that shape.
+	Gamma  float64    `json:"gamma,omitempty"`
+	Search SearchSpec `json:"search,omitempty"`
+
+	Simulate  *SimulateSpec  `json:"simulate,omitempty"`
+	Sequences []SequenceSpec `json:"sequences,omitempty"`
+}
+
+// tasks returns the number of off-loaded tasks the job will generate.
+func (s *JobSpec) tasks() int {
+	inf := s.Inferences
+	if inf <= 0 {
+		inf = 1
+	}
+	return inf + s.Bootstraps
+}
+
+// buildAlignment materializes and pattern-compresses the job's input.
+func (s *JobSpec) buildAlignment() (*phylo.PatternAlignment, error) {
+	var aln *phylo.Alignment
+	switch {
+	case s.Simulate != nil && len(s.Sequences) > 0:
+		return nil, fmt.Errorf("give either simulate or sequences, not both")
+	case s.Simulate != nil:
+		mean := s.Simulate.MeanBranchLength
+		if mean <= 0 {
+			mean = 0.08
+		}
+		var err error
+		_, aln, err = phylo.Simulate(phylo.SimulateOptions{
+			Taxa:             s.Simulate.Taxa,
+			Length:           s.Simulate.Length,
+			Seed:             s.Simulate.Seed,
+			MeanBranchLength: mean,
+		})
+		if err != nil {
+			return nil, err
+		}
+	case len(s.Sequences) > 0:
+		aln = &phylo.Alignment{}
+		for _, sq := range s.Sequences {
+			aln.Names = append(aln.Names, sq.Name)
+			aln.Seqs = append(aln.Seqs, []byte(sq.Seq))
+		}
+	default:
+		return nil, fmt.Errorf("an alignment is required: set simulate or sequences")
+	}
+	return phylo.Compress(aln)
+}
+
+// analysisOptions converts the spec to the native driver's options. The
+// server fills Progress and Sink; everything else must be derived from the
+// spec alone so that re-running the spec elsewhere reproduces the job.
+func (s *JobSpec) analysisOptions() (native.AnalysisOptions, error) {
+	rates := phylo.SingleRate()
+	if s.Gamma > 0 {
+		var err error
+		rates, err = phylo.DiscreteGamma(s.Gamma, 4)
+		if err != nil {
+			return native.AnalysisOptions{}, err
+		}
+	}
+	search := phylo.DefaultSearchOptions()
+	if s.Search.SmoothingRounds > 0 {
+		search.SmoothingRounds = s.Search.SmoothingRounds
+	}
+	if s.Search.MaxRounds > 0 {
+		search.MaxRounds = s.Search.MaxRounds
+	}
+	if s.Search.Epsilon > 0 {
+		search.Epsilon = s.Search.Epsilon
+	}
+	return native.AnalysisOptions{
+		Inferences: s.Inferences,
+		Bootstraps: s.Bootstraps,
+		Search:     search,
+		Seed:       s.Seed,
+		Model:      phylo.NewJC69(),
+		Rates:      rates,
+	}, nil
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transitions are possible.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Result is the JSON form of a completed analysis. It is a pure function of
+// the job spec: the acceptance test encodes the same native.AnalysisResult
+// obtained serially and compares bytes.
+type Result struct {
+	BestLogLik    float64            `json:"best_log_lik"`
+	BestTree      string             `json:"best_tree"`
+	InferenceLogs []float64          `json:"inference_logs"`
+	Replicates    []string           `json:"replicates,omitempty"`
+	Support       map[string]float64 `json:"support,omitempty"`
+}
+
+// ResultFromAnalysis converts the native result to its wire form.
+func ResultFromAnalysis(res *native.AnalysisResult) *Result {
+	out := &Result{
+		BestLogLik:    res.BestLogLik,
+		InferenceLogs: res.InferenceLogs,
+		Support:       res.Support,
+	}
+	if res.BestTree != nil {
+		out.BestTree = res.BestTree.Newick()
+	}
+	for _, rep := range res.Replicates {
+		if rep != nil {
+			out.Replicates = append(out.Replicates, rep.Newick())
+		}
+	}
+	return out
+}
+
+// Job is one accepted analysis request moving through the queue, the shared
+// runtime, and into a terminal state.
+type Job struct {
+	ID       string
+	Tenant   string
+	Priority Priority
+	Spec     JobSpec
+
+	data      *phylo.PatternAlignment
+	events    *EventLog
+	collector *stats.OffloadCollector
+	runCtx    context.Context
+	cancel    func() // cancels runCtx
+	done      chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	completed int
+	total     int
+	result    *Result
+	errMsg    string
+}
+
+// JobStatus is the JSON snapshot served by GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID          string               `json:"id"`
+	Tenant      string               `json:"tenant"`
+	Priority    string               `json:"priority"`
+	State       State                `json:"state"`
+	SubmittedAt time.Time            `json:"submitted_at"`
+	StartedAt   *time.Time           `json:"started_at,omitempty"`
+	FinishedAt  *time.Time           `json:"finished_at,omitempty"`
+	QueueWaitMS float64              `json:"queue_wait_ms"`
+	RunMS       float64              `json:"run_ms,omitempty"`
+	Completed   int                  `json:"completed_tasks"`
+	Total       int                  `json:"total_tasks"`
+	Error       string               `json:"error,omitempty"`
+	Result      *Result              `json:"result,omitempty"`
+	Offloads    stats.OffloadSummary `json:"offloads"`
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status builds a consistent snapshot.
+func (j *Job) Status(now time.Time) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		Tenant:      j.Tenant,
+		Priority:    j.Priority.String(),
+		State:       j.state,
+		SubmittedAt: j.submitted,
+		Completed:   j.completed,
+		Total:       j.total,
+		Error:       j.errMsg,
+		Result:      j.result,
+		Offloads:    j.collector.Summary(),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+		st.QueueWaitMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+	} else {
+		st.QueueWaitMS = float64(now.Sub(j.submitted)) / float64(time.Millisecond)
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+		if !j.started.IsZero() {
+			st.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	return st
+}
+
+// clearData releases the input alignment once the job is terminal; the spec
+// still describes how to rebuild it.
+func (j *Job) clearData() {
+	j.mu.Lock()
+	j.data = nil
+	j.mu.Unlock()
+}
+
+// queueWait returns how long the job waited for admission (0 if never
+// started).
+func (j *Job) queueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() {
+		if j.finished.IsZero() {
+			return 0
+		}
+		return j.finished.Sub(j.submitted)
+	}
+	return j.started.Sub(j.submitted)
+}
+
+// transition atomically moves the job from one state to another; it reports
+// whether the job was in the expected state.
+func (j *Job) transition(from, to State) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != from {
+		return false
+	}
+	j.state = to
+	switch to {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = time.Now()
+	}
+	return true
+}
+
+// finish moves a running (or, for cancellation, queued) job into a terminal
+// state, records its outcome, emits the terminal event, and closes the event
+// stream. It is a no-op if the job is already terminal.
+func (j *Job) finish(state State, result *Result, errMsg string) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.result = result
+	j.errMsg = errMsg
+	j.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		j.events.Append(EventDone, map[string]any{"best_log_lik": result.BestLogLik})
+	case StateFailed:
+		j.events.Append(EventFailed, map[string]any{"error": errMsg})
+	case StateCancelled:
+		j.events.Append(EventCancelled, nil)
+	}
+	j.events.Close()
+	close(j.done)
+	return true
+}
+
+// noteProgress records task completion counts and emits a progress event.
+func (j *Job) noteProgress(p native.AnalysisProgress) {
+	j.mu.Lock()
+	j.completed = p.Completed
+	j.total = p.Total
+	j.mu.Unlock()
+	kind := "inference"
+	if p.Bootstrap {
+		kind = "bootstrap"
+	}
+	j.events.Append(EventProgress, map[string]any{
+		"completed": p.Completed,
+		"total":     p.Total,
+		"kind":      kind,
+		"index":     p.Index,
+		"log_lik":   p.LogLik,
+	})
+}

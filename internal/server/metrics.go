@@ -1,0 +1,109 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"cellmg/internal/stats"
+)
+
+// TenantMetrics aggregates everything one tenant has done to the server:
+// admission outcomes, queueing, and the runtime work its jobs' off-loads
+// consumed (via the per-job stats sinks).
+type TenantMetrics struct {
+	Submitted int `json:"submitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// QueueWaitTotal sums admission waits over finished jobs.
+	QueueWaitTotal time.Duration `json:"queue_wait_total_ns"`
+	// Offloads aggregates the runtime-level accounting of every finished
+	// job: off-load count, worker queue waits, kernel (task run) time, and
+	// how often the policy granted loop-level parallelism.
+	Offloads stats.OffloadSummary `json:"offloads"`
+}
+
+// RuntimeMetrics is the shared runtime's global view — the union of all
+// tenants, which is exactly what the MGPS policy observes.
+type RuntimeMetrics struct {
+	Workers         int    `json:"workers"`
+	Policy          string `json:"policy"`
+	Decision        string `json:"decision"`
+	TasksRun        int64  `json:"tasks_run"`
+	LoopsWorkShared int64  `json:"loops_work_shared"`
+	LoopsSerial     int64  `json:"loops_serial"`
+	Switches        int    `json:"policy_switches"`
+	Evaluations     int    `json:"policy_evaluations"`
+}
+
+// MetricsSnapshot is the body of GET /v1/metrics.
+type MetricsSnapshot struct {
+	Tenants     map[string]TenantMetrics `json:"tenants"`
+	Runtime     RuntimeMetrics           `json:"runtime"`
+	QueueLen    int                      `json:"queue_len"`
+	QueueCap    int                      `json:"queue_cap"`
+	JobsRunning int                      `json:"jobs_running"`
+}
+
+// metricsRegistry owns the per-tenant counters.
+type metricsRegistry struct {
+	mu      sync.Mutex
+	tenants map[string]*TenantMetrics
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{tenants: map[string]*TenantMetrics{}}
+}
+
+func (m *metricsRegistry) tenant(name string) *TenantMetrics {
+	t, ok := m.tenants[name]
+	if !ok {
+		t = &TenantMetrics{}
+		m.tenants[name] = t
+	}
+	return t
+}
+
+func (m *metricsRegistry) jobSubmitted(tenant string) {
+	m.mu.Lock()
+	m.tenant(tenant).Submitted++
+	m.mu.Unlock()
+}
+
+func (m *metricsRegistry) jobRejected(tenant string) {
+	m.mu.Lock()
+	m.tenant(tenant).Rejected++
+	m.mu.Unlock()
+}
+
+// jobFinished folds a terminal job into its tenant's counters.
+func (m *metricsRegistry) jobFinished(j *Job) {
+	state := j.State()
+	wait := j.queueWait()
+	sum := j.collector.Summary()
+	m.mu.Lock()
+	t := m.tenant(j.Tenant)
+	switch state {
+	case StateDone:
+		t.Completed++
+	case StateFailed:
+		t.Failed++
+	case StateCancelled:
+		t.Cancelled++
+	}
+	t.QueueWaitTotal += wait
+	t.Offloads.Merge(sum)
+	m.mu.Unlock()
+}
+
+// snapshot copies the per-tenant map.
+func (m *metricsRegistry) snapshot() map[string]TenantMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]TenantMetrics, len(m.tenants))
+	for name, t := range m.tenants {
+		out[name] = *t
+	}
+	return out
+}

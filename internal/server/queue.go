@@ -1,0 +1,112 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Push when the queue is at capacity; the HTTP
+// layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("server: job queue is full")
+
+// jobQueue is the bounded admission queue: two priority classes, FIFO within
+// each, with interactive jobs always popped before batch jobs. Capacity is
+// shared across classes — admission control is "how much work may wait", not
+// "how much per class"; the class only decides ordering.
+type jobQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	classes  [numPriorities][]*Job
+	size     int
+	closed   bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{capacity: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job, failing with ErrQueueFull at capacity and an error
+// after Close.
+func (q *jobQueue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("server: queue is closed")
+	}
+	if q.size >= q.capacity {
+		return ErrQueueFull
+	}
+	q.classes[j.Priority] = append(q.classes[j.Priority], j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until a job is available (highest class first) or the queue is
+// closed; ok is false only on close.
+func (q *jobQueue) Pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for c := range q.classes {
+			if len(q.classes[c]) > 0 {
+				j = q.classes[c][0]
+				q.classes[c][0] = nil
+				q.classes[c] = q.classes[c][1:]
+				q.size--
+				return j, true
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// Remove takes a specific job out of the queue (used by DELETE on a queued
+// job); it reports whether the job was still queued.
+func (q *jobQueue) Remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	class := q.classes[j.Priority]
+	for i, queued := range class {
+		if queued == j {
+			copy(class[i:], class[i+1:])
+			class[len(class)-1] = nil
+			q.classes[j.Priority] = class[:len(class)-1]
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of queued jobs.
+func (q *jobQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Close rejects further pushes, wakes every blocked Pop, and returns the jobs
+// still queued so the caller can mark them cancelled.
+func (q *jobQueue) Close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var drained []*Job
+	for c := range q.classes {
+		drained = append(drained, q.classes[c]...)
+		q.classes[c] = nil
+	}
+	q.size = 0
+	q.cond.Broadcast()
+	return drained
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func qjob(id string, p Priority) *Job {
+	return &Job{ID: id, Priority: p, events: NewEventLog(), done: make(chan struct{}), state: StateQueued}
+}
+
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	q := newJobQueue(8)
+	b1 := qjob("b1", PriorityBatch)
+	b2 := qjob("b2", PriorityBatch)
+	i1 := qjob("i1", PriorityInteractive)
+	i2 := qjob("i2", PriorityInteractive)
+	for _, j := range []*Job{b1, i1, b2, i2} {
+		if err := q.Push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	for k := 0; k < 4; k++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed unexpectedly")
+		}
+		order = append(order, j.ID)
+	}
+	want := []string{"i1", "i2", "b1", "b2"}
+	for k := range want {
+		if order[k] != want[k] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.Push(qjob("a", PriorityBatch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(qjob("b", PriorityInteractive)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(qjob("c", PriorityInteractive)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// Popping frees capacity again.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.Push(qjob("d", PriorityBatch)); err != nil {
+		t.Fatalf("push after pop: %v", err)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newJobQueue(4)
+	a := qjob("a", PriorityInteractive)
+	b := qjob("b", PriorityInteractive)
+	q.Push(a)
+	q.Push(b)
+	if !q.Remove(a) {
+		t.Fatal("remove failed")
+	}
+	if q.Remove(a) {
+		t.Fatal("double remove succeeded")
+	}
+	j, ok := q.Pop()
+	if !ok || j != b {
+		t.Fatalf("pop = %v after remove, want b", j)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q := newJobQueue(4)
+	q.Push(qjob("left", PriorityBatch))
+	popped := make(chan bool, 1)
+	go func() {
+		// Drain the one job, then block until Close.
+		q.Pop()
+		_, ok := q.Pop()
+		popped <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	drained := q.Close()
+	if len(drained) != 0 {
+		t.Fatalf("drained %d jobs, want 0 (already popped)", len(drained))
+	}
+	select {
+	case ok := <-popped:
+		if ok {
+			t.Fatal("Pop returned ok after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not unblock on Close")
+	}
+	if err := q.Push(qjob("late", PriorityBatch)); err == nil {
+		t.Fatal("push after close succeeded")
+	}
+}

@@ -1,0 +1,546 @@
+// Package server is the multi-tenant serving layer over the native multigrain
+// runtime: an HTTP/JSON job API backed by a bounded priority queue and an
+// admission controller that maps every accepted job's inferences and
+// bootstraps onto submitters of ONE shared native.Runtime.
+//
+// Sharing the runtime is the point, not a convenience: the MGPS policy
+// observes the union of all tenants' off-loads, so it sees exactly the regime
+// the paper evaluates — many independent task streams multiplexed onto a
+// fixed worker pool, with loop-level parallelism switched on when the streams
+// thin out and off when they saturate the pool.
+//
+// Request lifecycle:
+//
+//	client ── POST /v1/jobs ──▶ admission checks ──▶ bounded priority queue
+//	                                                        │ Pop (runner)
+//	                                                        ▼
+//	             shared native.Runtime ◀── one Submitter per task
+//	                 │  MGPS sees the union of all jobs' off-loads
+//	                 ▼
+//	   progress events (SSE) ── GET /v1/jobs/{id}/events
+//	   result + metrics      ── GET /v1/jobs/{id}, /v1/metrics
+//
+// Determinism: a job's result is a pure function of its spec. Every task seed
+// is derived with phylo.DeriveSeed from (job seed, stream, index), so a job
+// interleaved with arbitrary other tenants produces bit-identical results to
+// the same spec run serially.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cellmg/internal/native"
+	"cellmg/internal/stats"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers, Policy, SPEsPerLoop configure the shared native runtime
+	// (defaults follow native.Options).
+	Workers     int
+	Policy      native.PolicyKind
+	SPEsPerLoop int
+
+	// QueueCapacity bounds how many accepted jobs may wait (default 64);
+	// submissions beyond it get 429.
+	QueueCapacity int
+	// MaxConcurrent is the admission width: how many jobs feed the shared
+	// runtime at once (default 4). More concurrent jobs means more task
+	// streams, which pushes MGPS toward EDTLP; fewer means wider worker
+	// groups per task.
+	MaxConcurrent int
+	// MaxTasksPerJob caps inferences+bootstraps per job (default 256).
+	MaxTasksPerJob int
+	// MaxAlignmentCells caps taxa*sites of a job's alignment (default 1M).
+	MaxAlignmentCells int
+	// MaxRequestBytes caps the POST /v1/jobs body (default 8 MiB), so the
+	// in-spec size limits cannot be bypassed by a body too large to buffer.
+	MaxRequestBytes int64
+	// MaxFinishedJobs bounds how many terminal jobs stay queryable (default
+	// 1024); beyond it the oldest are evicted and their ids return 404.
+	MaxFinishedJobs int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.QueueCapacity <= 0 {
+		out.QueueCapacity = 64
+	}
+	if out.MaxConcurrent <= 0 {
+		out.MaxConcurrent = 4
+	}
+	if out.MaxTasksPerJob <= 0 {
+		out.MaxTasksPerJob = 256
+	}
+	if out.MaxAlignmentCells <= 0 {
+		out.MaxAlignmentCells = 1 << 20
+	}
+	if out.MaxRequestBytes <= 0 {
+		out.MaxRequestBytes = 8 << 20
+	}
+	if out.MaxFinishedJobs <= 0 {
+		out.MaxFinishedJobs = 1024
+	}
+	return out
+}
+
+// Server owns the shared runtime, the queue, the job table and the HTTP API.
+type Server struct {
+	opts    Options
+	rt      *native.Runtime
+	queue   *jobQueue
+	metrics *metricsRegistry
+	mux     *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	running    atomic.Int32
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // terminal job ids, oldest first, for bounded retention
+	nextID   int64
+	closed   bool
+
+	closeOnce sync.Once
+}
+
+// New creates a server, its shared runtime, and MaxConcurrent admission
+// runners. Close must be called to release them.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts: opts,
+		rt: native.New(native.Options{
+			Workers:     opts.Workers,
+			Policy:      opts.Policy,
+			SPEsPerLoop: opts.SPEsPerLoop,
+		}),
+		queue:   newJobQueue(opts.QueueCapacity),
+		metrics: newMetricsRegistry(),
+		jobs:    map[string]*Job{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	for i := 0; i < opts.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Runtime exposes the shared runtime (tests and the benchmark harness read
+// its stats).
+func (s *Server) Runtime() *native.Runtime { return s.rt }
+
+// QueueLen returns the number of jobs waiting for admission.
+func (s *Server) QueueLen() int { return s.queue.Len() }
+
+// Close stops admission, cancels queued and running jobs, waits for the
+// runners, and shuts the runtime down.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		for _, j := range s.queue.Close() {
+			if j.finish(StateCancelled, nil, "server shutting down") {
+				s.retire(j)
+			}
+		}
+		s.baseCancel() // aborts running jobs' searches
+		s.wg.Wait()
+		s.rt.Close()
+	})
+}
+
+// Submit validates and enqueues a job programmatically (the HTTP handler is a
+// thin wrapper). It returns the accepted job or an admission error. Every
+// rejected submission counts as submitted+rejected in the tenant's metrics,
+// whatever the reason, so misbehaving clients are visible in /v1/metrics.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	reject := func(code int, msg string) (*Job, error) {
+		s.metrics.jobSubmitted(tenant)
+		s.metrics.jobRejected(tenant)
+		return nil, &admissionError{code: code, msg: msg}
+	}
+	prio, err := ParsePriority(spec.Priority)
+	if err != nil {
+		return reject(http.StatusBadRequest, err.Error())
+	}
+	// Shed load before the expensive part of admission: a closing server or
+	// a full queue rejects without simulating/compressing an alignment. The
+	// capacity check here is advisory (Push re-checks authoritatively).
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return reject(http.StatusServiceUnavailable, "server is shutting down")
+	}
+	if s.queue.Len() >= s.opts.QueueCapacity {
+		return reject(http.StatusTooManyRequests, ErrQueueFull.Error())
+	}
+	if n := spec.tasks(); n > s.opts.MaxTasksPerJob {
+		return reject(http.StatusUnprocessableEntity,
+			fmt.Sprintf("job has %d tasks, limit is %d", n, s.opts.MaxTasksPerJob))
+	}
+	data, err := spec.buildAlignment()
+	if err != nil {
+		return reject(http.StatusBadRequest, err.Error())
+	}
+	if cells := data.NumTaxa() * data.SiteLength; cells > s.opts.MaxAlignmentCells {
+		return reject(http.StatusUnprocessableEntity,
+			fmt.Sprintf("alignment has %d cells, limit is %d", cells, s.opts.MaxAlignmentCells))
+	}
+	if _, err := spec.analysisOptions(); err != nil {
+		return reject(http.StatusBadRequest, err.Error())
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, &admissionError{code: http.StatusServiceUnavailable, msg: "server is shutting down"}
+	}
+	s.nextID++
+	id := fmt.Sprintf("j-%06d", s.nextID)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:        id,
+		Tenant:    tenant,
+		Priority:  prio,
+		Spec:      spec,
+		data:      data,
+		events:    NewEventLog(),
+		collector: &stats.OffloadCollector{},
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+		total:     spec.tasks(),
+	}
+	j.runCtx = ctx
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	s.metrics.jobSubmitted(tenant)
+	// The queued event goes in before Push: once the job is in the queue a
+	// runner may pop it immediately, and "started" must not precede
+	// "queued" in the stream.
+	j.events.Append(EventQueued, map[string]any{
+		"tenant":   tenant,
+		"priority": prio.String(),
+		"tasks":    j.total,
+	})
+	if err := s.queue.Push(j); err != nil {
+		s.metrics.jobRejected(tenant)
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		cancel()
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, ErrQueueFull) {
+			code = http.StatusTooManyRequests
+		}
+		return nil, &admissionError{code: code, msg: err.Error()}
+	}
+	return j, nil
+}
+
+// retire accounts a job that just reached a terminal state: its tenant
+// metrics are folded in, its input alignment is released, and the table of
+// finished jobs is trimmed to MaxFinishedJobs (oldest evicted first).
+func (s *Server) retire(j *Job) {
+	s.metrics.jobFinished(j)
+	j.clearData()
+	s.mu.Lock()
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.opts.MaxFinishedJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished[0] = ""
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a queued or running job; it reports whether the job existed
+// and whether it was still cancellable.
+func (s *Server) Cancel(id string) (j *Job, found, cancelled bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, false, false
+	}
+	if s.queue.Remove(j) {
+		// Still queued: it will never reach a runner, finish it here.
+		j.cancel()
+		if j.finish(StateCancelled, nil, "") {
+			s.retire(j)
+		}
+		return j, true, true
+	}
+	if j.State().Terminal() {
+		return j, true, false
+	}
+	// Running (or about to run): cancelling the context aborts its searches
+	// at the next NNI evaluation and frees queued submitters immediately;
+	// the runner records the terminal state.
+	j.cancel()
+	return j, true, true
+}
+
+// Metrics returns the server-wide snapshot.
+func (s *Server) Metrics() MetricsSnapshot {
+	rs := s.rt.Stats()
+	return MetricsSnapshot{
+		Tenants: s.metrics.snapshot(),
+		Runtime: RuntimeMetrics{
+			Workers:         s.rt.Workers(),
+			Policy:          s.rt.Policy().String(),
+			Decision:        s.rt.Decision().String(),
+			TasksRun:        rs.TasksRun,
+			LoopsWorkShared: rs.LoopsWorkShared,
+			LoopsSerial:     rs.LoopsSerial,
+			Switches:        rs.Switches,
+			Evaluations:     rs.Evaluations,
+		},
+		QueueLen:    s.queue.Len(),
+		QueueCap:    s.opts.QueueCapacity,
+		JobsRunning: int(s.running.Load()),
+	}
+}
+
+// runner is one admission slot: it pops jobs in priority order and drives
+// them to a terminal state on the shared runtime.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	if !j.transition(StateQueued, StateRunning) {
+		return // cancelled between Pop and here
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	j.events.Append(EventStarted, map[string]any{
+		"queue_wait_ms": float64(j.queueWait()) / float64(time.Millisecond),
+	})
+
+	opts, err := j.Spec.analysisOptions() // validated at submit; cannot fail here
+	if err != nil {
+		if j.finish(StateFailed, nil, err.Error()) {
+			s.retire(j)
+		}
+		return
+	}
+	opts.Progress = j.noteProgress
+	opts.Sink = j.collector
+
+	res, err := native.RunAnalysisContext(j.runCtx, s.rt, j.data, opts)
+	var done bool
+	switch {
+	case err == nil:
+		done = j.finish(StateDone, ResultFromAnalysis(res), "")
+	case errors.Is(err, context.Canceled):
+		done = j.finish(StateCancelled, nil, "")
+	default:
+		done = j.finish(StateFailed, nil, err.Error())
+	}
+	if done {
+		s.retire(j)
+	}
+}
+
+// --- HTTP layer -----------------------------------------------------------
+
+// admissionError carries an HTTP status through Submit.
+type admissionError struct {
+	code int
+	msg  string
+}
+
+func (e *admissionError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The in-spec size caps are only checked after decoding, so the body
+	// itself must be bounded first.
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes)
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid job spec: "+err.Error())
+		return
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		var ae *admissionError
+		if errors.As(err, &ae) {
+			writeError(w, ae.code, ae.msg)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status(time.Now()))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if tenant == "" || j.Tenant == tenant {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	// Ids are "j-" + zero-padded counter: shorter-first then lexicographic
+	// is numeric submission order even past the six-digit padding.
+	sort.Slice(jobs, func(i, k int) bool {
+		a, b := jobs[i].ID, jobs[k].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	now := time.Now()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status(now)
+		st.Result = nil // listings stay small; fetch the job for the result
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status(time.Now()))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, found, cancelled := s.Cancel(r.PathValue("id"))
+	if !found {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !cancelled && j.State() != StateCancelled {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is already %s", j.State()))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status(time.Now()))
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: the full
+// history first, then live events until the job reaches a terminal state or
+// the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := j.events.Subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		if writeSSE(w, ev) != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // terminal event delivered, stream complete
+			}
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.rt.Workers(),
+		"policy":  s.rt.Policy().String(),
+	})
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOffloadCollectorAggregates(t *testing.T) {
+	var c OffloadCollector
+	c.RecordOffload(OffloadEvent{QueueWait: 2 * time.Millisecond, Run: 10 * time.Millisecond, Workers: 1})
+	c.RecordOffload(OffloadEvent{QueueWait: 5 * time.Millisecond, Run: 20 * time.Millisecond, Workers: 4, WorkShared: true})
+	s := c.Summary()
+	if s.Offloads != 2 || s.WorkShared != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.QueueWaitTotal != 7*time.Millisecond || s.QueueWaitMax != 5*time.Millisecond {
+		t.Errorf("queue wait: %+v", s)
+	}
+	if s.RunTotal != 30*time.Millisecond || s.WorkersGranted != 5 {
+		t.Errorf("run/workers: %+v", s)
+	}
+}
+
+func TestOffloadCollectorConcurrent(t *testing.T) {
+	var c OffloadCollector
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.RecordOffload(OffloadEvent{Run: time.Microsecond, Workers: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.Summary(); s.Offloads != goroutines*per {
+		t.Errorf("offloads = %d, want %d", s.Offloads, goroutines*per)
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	var a, b OffloadCollector
+	tee := TeeSink{&a, nil, &b}
+	tee.RecordOffload(OffloadEvent{Workers: 1})
+	if a.Summary().Offloads != 1 || b.Summary().Offloads != 1 {
+		t.Errorf("tee did not fan out: %+v %+v", a.Summary(), b.Summary())
+	}
+}
+
+func TestOffloadSummaryMerge(t *testing.T) {
+	a := OffloadSummary{Offloads: 1, QueueWaitMax: time.Second, RunTotal: time.Second}
+	b := OffloadSummary{Offloads: 2, WorkShared: 1, QueueWaitMax: 2 * time.Second, WorkersGranted: 3}
+	a.Merge(b)
+	if a.Offloads != 3 || a.WorkShared != 1 || a.QueueWaitMax != 2*time.Second || a.WorkersGranted != 3 {
+		t.Errorf("merge: %+v", a)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%.2f) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
