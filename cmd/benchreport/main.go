@@ -1,0 +1,106 @@
+// Command benchreport runs the tier-1 hot-path benchmark set in-process and
+// writes a JSON report (name, ns/op, allocs/op, bytes/op, extra metrics), so
+// the performance trajectory of the likelihood kernels and the tree search is
+// recorded per PR instead of living only in scrollback. CI runs it and
+// uploads the file as an artifact; the repository commits the snapshot for
+// the current PR (BENCH_PR5.json).
+//
+//	go run ./cmd/benchreport -out BENCH_PR5.json
+//
+// The benchmarks — fixtures and timed loop bodies alike — come from
+// internal/benchfix and are the same functions internal/phylo/bench_test.go
+// registers with `go test -bench`, so this record can never silently
+// measure different semantics than the test suite: the three paper kernels
+// (Newview, Evaluate, Makenewz) on the 42-taxon/1167-site 42_SC-shaped
+// input, the incremental dirty-path evaluation, and the 50-taxon NNI search
+// in both the incremental and the full-refresh (baseline) modes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"cellmg/internal/benchfix"
+	"cellmg/internal/phylo"
+)
+
+// Result is one benchmark measurement in the report.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the file layout of BENCH_PR5.json.
+type Report struct {
+	Go      string   `json:"go"`
+	Arch    string   `json:"arch"`
+	Results []Result `json:"results"`
+}
+
+func measure(name string, fn func(b *testing.B)) Result {
+	fmt.Fprintf(os.Stderr, "benchreport: running %s...\n", name)
+	r := testing.Benchmark(fn)
+	res := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		res.Extra = map[string]float64{}
+		for k, v := range r.Extra {
+			res.Extra[k] = v
+		}
+	}
+	return res
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR5.json", "output file (- for stdout)")
+	flag.Parse()
+
+	gamma, err := benchfix.BenchGamma4()
+	fatalIf(err)
+
+	rep := Report{Go: runtime.Version(), Arch: runtime.GOARCH}
+	for _, bm := range []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"Newview", benchfix.Newview(phylo.NewJC69(), phylo.SingleRate())},
+		{"NewviewGamma4", benchfix.Newview(phylo.NewJC69(), gamma)},
+		{"EvaluateFullSweep", benchfix.EvaluateFullSweep(phylo.SingleRate())},
+		{"EvaluateIncremental", benchfix.EvaluateIncremental()},
+		{"Makenewz", benchfix.Makenewz(phylo.NewJC69(), phylo.SingleRate())},
+		{"SearchNNI/incremental", benchfix.SearchNNI(false)},
+		{"SearchNNI/fullrefresh", benchfix.SearchNNI(true)},
+	} {
+		rep.Results = append(rep.Results, measure(bm.name, bm.fn))
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	fatalIf(err)
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	fatalIf(os.WriteFile(*out, buf, 0o644))
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+}

@@ -17,6 +17,10 @@
 //	curl -N localhost:8080/v1/jobs/j-000001/events     # stream progress (SSE)
 //	curl -s localhost:8080/v1/metrics                  # per-tenant accounting
 //	curl -s -X DELETE localhost:8080/v1/jobs/j-000001  # cancel
+//
+// With -pprof 127.0.0.1:6060 the process also serves net/http/pprof on that
+// address (separate from the job API), so serving-layer hot-path regressions
+// can be profiled live: go tool pprof http://127.0.0.1:6060/debug/pprof/profile
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux, served only on -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +48,7 @@ func main() {
 		queueCap      = flag.Int("queue", 64, "bounded job-queue capacity")
 		maxConcurrent = flag.Int("max-concurrent", 4, "jobs admitted to the runtime at once")
 		maxTasks      = flag.Int("max-tasks", 256, "per-job cap on inferences+bootstraps")
+		pprofAddr     = flag.String("pprof", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -57,6 +63,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "cellmg-serve: unknown policy %q\n", *policyName)
 		os.Exit(1)
+	}
+
+	// The job API runs on its own mux, so the pprof handlers (registered on
+	// the DefaultServeMux by the blank import) are reachable only through
+	// the dedicated debug listener — keep it bound to localhost.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("cellmg-serve: pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("cellmg-serve: pprof server: %v", err)
+			}
+		}()
 	}
 
 	srv := server.New(server.Options{

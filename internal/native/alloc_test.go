@@ -1,0 +1,75 @@
+package native
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForAllocationFree is the loop-level half of the allocation
+// guard: in steady state a work-shared ParallelFor must not allocate — the
+// loop descriptor lives in the TaskContext, the worker-side runner is one
+// persistent closure, and grain claiming is a bare atomic add. A regression
+// here multiplies across every per-pattern kernel loop of every task.
+func TestParallelForAllocationFree(t *testing.T) {
+	rt := New(Options{Workers: 4, Policy: StaticLLP, SPEsPerLoop: 4})
+	defer rt.Close()
+
+	var avg float64
+	var total int64
+	body := func(lo, hi int) { atomic.AddInt64(&total, int64(hi-lo)) }
+	err := rt.NewSubmitter().Offload(func(tc *TaskContext) {
+		if tc.GroupSize() != 4 {
+			t.Errorf("group size = %d, want 4", tc.GroupSize())
+		}
+		tc.ParallelFor(228, body) // warm: the descriptor and runner exist after this
+		avg = testing.AllocsPerRun(100, func() { tc.ParallelFor(228, body) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("ParallelFor allocates %v per work-shared loop in steady state, want 0", avg)
+	}
+	// One explicit warm call + AllocsPerRun's runs+1 invocations.
+	if want := int64(228 * 102); total != want {
+		t.Errorf("loops covered %d iterations, want %d", total, want)
+	}
+}
+
+// TestParallelForAdaptiveBalancesIrregularLoops drives a loop whose cost is
+// wildly skewed toward the first iterations (the shape Gamma-category and
+// scaling-triggered patterns produce) and checks every index is still covered
+// exactly once under the grain-claiming scheduler.
+func TestParallelForAdaptiveBalancesIrregularLoops(t *testing.T) {
+	rt := New(Options{Workers: 8, Policy: StaticLLP, SPEsPerLoop: 8})
+	defer rt.Close()
+
+	const n = 1000
+	counts := make([]int32, n)
+	err := rt.NewSubmitter().Offload(func(tc *TaskContext) {
+		tc.ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				// Irregular cost: early iterations spin, late ones are free.
+				if i < n/10 {
+					s := 0
+					for k := 0; k < 20000; k++ {
+						s += k
+					}
+					_ = s
+				}
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times, want exactly once", i, c)
+		}
+	}
+	if s := rt.Stats(); s.LoopsWorkShared != 1 {
+		t.Errorf("work-shared loops = %d, want 1", s.LoopsWorkShared)
+	}
+}

@@ -247,38 +247,70 @@ func (r *Runtime) NewSubmitterWithSink(sink stats.OffloadSink) *Submitter {
 // TaskContext is passed to an off-loaded task body; it exposes the loop-level
 // parallelism of the worker group assigned to the task.
 //
-// The loop plumbing is allocation-free in steady state: chunk bounds live in
-// a per-context slice and each non-master group slot has one persistent
-// runner closure, so work-sharing a loop enqueues prebuilt funcs instead of
-// allocating a capture per chunk. ParallelFor calls are serial per task (the
-// master issues them), which makes reusing the chunk slice and WaitGroup
-// safe.
+// Work-shared loops are scheduled adaptively: the master keeps a statically
+// sized inline share (the paper's purposeful load unbalancing, compensating
+// for worker wake-up latency), and the remaining iterations are claimed in
+// small grains from an atomic shared index by whichever worker frees up
+// first. Static equal chunks assumed every iteration costs the same; the
+// per-pattern likelihood loops violate that (Gamma categories and
+// scaling-triggered patterns are several times dearer), which left workers
+// idle at the barrier. With grain claiming, the imbalance is bounded by one
+// grain instead of by the spread across whole chunks.
+//
+// The loop plumbing is allocation-free in steady state: the loop descriptor
+// lives in the context and one persistent runner closure is shared by every
+// non-master slot, so work-sharing a loop enqueues a prebuilt func per
+// worker instead of allocating captures. ParallelFor calls are serial per
+// task (the master issues them), which makes reusing the descriptor and
+// WaitGroup safe.
 type TaskContext struct {
 	rt     *Runtime
 	group  []int // worker slots held by this task; group[0] is the master
 	master int
 
-	loopBody func(lo, hi int) // body of the loop currently being work-shared
-	loopWG   sync.WaitGroup
-	chunks   []chunkBounds // per group slot; chunks[0] is the master share
-	runners  []func()      // persistent per-slot runners (nil at slot 0)
+	loopBody  func(lo, hi int) // body of the loop currently being work-shared
+	loopWG    sync.WaitGroup
+	loopN     int64        // trip count of the current loop
+	loopGrain int64        // iterations claimed per grab
+	loopNext  atomic.Int64 // next unclaimed iteration index
+	runner    func()       // persistent worker-side runner
 }
 
-type chunkBounds struct{ lo, hi int }
+// Grain sizing for the adaptive loop scheduler: the shared-pool iterations
+// are split into about grainsPerWorker grains per group slot (enough slack
+// for expensive grains to be compensated by cheap ones) but never fewer than
+// minLoopGrain iterations per grab (bounding the atomic-op overhead on the
+// paper-scale 228-pattern loops).
+const (
+	grainsPerWorker = 4
+	minLoopGrain    = 4
+)
 
-// initLoopRunners builds the persistent runner closures, one per non-master
-// group slot. Each runner reads its chunk bounds and the current body from
-// the context at execution time.
+// initLoopRunners builds the persistent runner closure shared by the
+// non-master group slots. It reads the current loop descriptor from the
+// context at execution time and claims grains until the loop is exhausted.
 func (tc *TaskContext) initLoopRunners() {
-	tc.chunks = make([]chunkBounds, len(tc.group))
-	tc.runners = make([]func(), len(tc.group))
-	for i := 1; i < len(tc.group); i++ {
-		i := i
-		tc.runners[i] = func() {
-			c := tc.chunks[i]
-			tc.loopBody(c.lo, c.hi)
-			tc.loopWG.Done()
+	tc.runner = func() {
+		tc.runShared()
+		tc.loopWG.Done()
+	}
+}
+
+// runShared claims grains of the current loop from the shared index until
+// none remain. It runs on every group slot, the master included (which joins
+// after finishing its inline share).
+func (tc *TaskContext) runShared() {
+	n, g := tc.loopN, tc.loopGrain
+	for {
+		lo := tc.loopNext.Add(g) - g
+		if lo >= n {
+			return
 		}
+		hi := lo + g
+		if hi > n {
+			hi = n
+		}
+		tc.loopBody(int(lo), int(hi))
 	}
 }
 
@@ -410,9 +442,12 @@ func (s *Submitter) OffloadContext(ctx context.Context, fn func(tc *TaskContext)
 
 // ParallelFor work-shares the loop body over the task's worker group. The
 // master worker (the one executing the task body) takes a slightly larger
-// slice, compensating for the latency of waking the other workers — the Go
-// analogue of the paper's purposeful load unbalancing. With a single-worker
-// group the loop runs serially on the master.
+// inline share, compensating for the latency of waking the other workers —
+// the Go analogue of the paper's purposeful load unbalancing. The remaining
+// iterations are claimed in small grains from an atomic shared index by
+// master and workers alike, so irregular per-iteration costs self-balance
+// instead of leaving workers idle behind a static chunk split. With a
+// single-worker group the loop runs serially on the master.
 //
 // It has the signature of phylo.ParallelFor, so it can be plugged directly
 // into a likelihood engine.
@@ -426,47 +461,47 @@ func (tc *TaskContext) ParallelFor(n int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	atomic.AddInt64(&r.loopsWorkShared, 1)
 	workers := len(tc.group)
-	// Master bonus: the master executes its chunk inline without a channel
-	// round trip, so give it a slightly larger share (the paper's purposeful
+	// Master bonus: the master executes its share inline without a channel
+	// round trip, so give it a slightly larger slice (the paper's purposeful
 	// load unbalancing).
 	masterShare := int(float64(n)/float64(workers)*(1+r.opts.MasterShareBonus)) + 1
 	if masterShare > n {
 		masterShare = n
 	}
 	rest := n - masterShare
-	perWorker := rest / (workers - 1)
-	extra := rest % (workers - 1)
+	if rest == 0 {
+		atomic.AddInt64(&r.loopsSerial, 1)
+		body(0, n)
+		return
+	}
+	atomic.AddInt64(&r.loopsWorkShared, 1)
 
-	// Lay the chunk bounds out first, then publish the body and launch the
-	// persistent runners. Empty chunks are zeroed so a stale bound from a
-	// previous loop is never re-executed.
+	grain := rest / (workers * grainsPerWorker)
+	if grain < minLoopGrain {
+		grain = minLoopGrain
+	}
+
+	// Publish the loop descriptor, then launch the persistent runner on the
+	// non-master slots (the channel send orders the stores before the
+	// worker's loads). Workers beyond the number of grains would find the
+	// pool already drained, so don't wake them at all.
 	tc.loopBody = body
-	tc.chunks[0] = chunkBounds{0, masterShare}
-	lo := masterShare
-	launched := 0
-	for i := 1; i < workers; i++ {
-		chunk := perWorker
-		if i <= extra {
-			chunk++
-		}
-		if chunk == 0 {
-			tc.chunks[i] = chunkBounds{}
-			continue
-		}
-		tc.chunks[i] = chunkBounds{lo, lo + chunk}
-		lo += chunk
-		launched++
+	tc.loopN = int64(n)
+	tc.loopGrain = int64(grain)
+	tc.loopNext.Store(int64(masterShare))
+	launch := (rest + grain - 1) / grain
+	if launch > workers-1 {
+		launch = workers - 1
 	}
-	tc.loopWG.Add(launched)
-	for i := 1; i < workers; i++ {
-		if c := tc.chunks[i]; c.hi > c.lo {
-			r.workers[tc.group[i]].jobs <- tc.runners[i]
-		}
+	tc.loopWG.Add(launch)
+	for i := 1; i <= launch; i++ {
+		r.workers[tc.group[i]].jobs <- tc.runner
 	}
-	// Master slice runs inline (we are already on the master worker).
+	// Master share runs inline (we are already on the master worker), then
+	// the master joins the grain pool alongside the workers it woke.
 	body(0, masterShare)
+	tc.runShared()
 	tc.loopWG.Wait()
 	tc.loopBody = nil
 }

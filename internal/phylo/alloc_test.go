@@ -1,0 +1,83 @@
+package phylo_test
+
+// This file is the allocation-regression guard for the likelihood hot path:
+// the three paper kernels must stay allocation-free in steady state (warm
+// buffers, warm transition cache), so a future change that reintroduces a
+// per-call escape fails CI instead of silently eroding the PR 1 work. It
+// lives in the external test package so the fixtures come from
+// internal/benchfix — the same workloads the benchmarks and BENCH_PR*.json
+// measure.
+
+import (
+	"testing"
+
+	"cellmg/internal/benchfix"
+	"cellmg/internal/phylo"
+)
+
+// allocEngine builds the shared paper-sized kernel workload with every
+// buffer sized and the transition caches warm.
+func allocEngine(t *testing.T) (*phylo.Engine, *phylo.Tree) {
+	t.Helper()
+	eng, tree, err := benchfix.KernelEngine(phylo.NewJC69(), phylo.SingleRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Refresh(tree)
+	return eng, tree
+}
+
+func TestNewviewAllocationFree(t *testing.T) {
+	eng, tree := allocEngine(t)
+	node := benchfix.KernelInternalNode(tree)
+	if node == nil {
+		t.Fatal("tree has no internal non-root node")
+	}
+	if avg := testing.AllocsPerRun(100, func() { eng.Newview(node) }); avg != 0 {
+		t.Errorf("Newview allocates %v per call in steady state, want 0", avg)
+	}
+}
+
+func TestEvaluateRootAllocationFree(t *testing.T) {
+	eng, tree := allocEngine(t)
+	if avg := testing.AllocsPerRun(100, func() { eng.EvaluateRoot(tree) }); avg != 0 {
+		t.Errorf("EvaluateRoot allocates %v per call in steady state, want 0", avg)
+	}
+}
+
+func TestMakenewzEdgeAllocationFree(t *testing.T) {
+	eng, tree := allocEngine(t)
+	edge := tree.Edges()[len(tree.Edges())/2]
+	// One warm-up pass caches the derivative matrices of every Newton
+	// iterate; MakenewzEdge does not mutate the tree, so repeat calls walk
+	// the identical iterate sequence and hit the cache throughout.
+	eng.MakenewzEdge(edge)
+	if avg := testing.AllocsPerRun(20, func() { eng.MakenewzEdge(edge) }); avg != 0 {
+		t.Errorf("MakenewzEdge allocates %v per call in steady state, want 0", avg)
+	}
+}
+
+// TestIncrementalEvaluationAllocationFree guards the new invalidation path:
+// a steady-state invalidate-one-edge + re-evaluate cycle (the inner loop of
+// the incremental tree search) must not allocate either.
+func TestIncrementalEvaluationAllocationFree(t *testing.T) {
+	eng, tree := allocEngine(t)
+	edge := tree.Edges()[len(tree.Edges())/3]
+	eng.LogLikelihood(tree)
+	lengths := benchfix.EdgeFlipLengths
+	// Warm both branch-length cache entries the flip cycle touches.
+	for _, l := range lengths {
+		edge.Length = l
+		eng.InvalidateEdge(edge)
+		eng.LogLikelihood(tree)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(50, func() {
+		edge.Length = lengths[i%2]
+		i++
+		eng.InvalidateEdge(edge)
+		eng.LogLikelihood(tree)
+	}); avg != 0 {
+		t.Errorf("incremental invalidate+evaluate allocates %v per cycle, want 0", avg)
+	}
+}

@@ -1,98 +1,52 @@
-package phylo
+package phylo_test
+
+// The tier-1 benchmark set — fixtures AND timed loop bodies — is defined in
+// internal/benchfix and shared with cmd/benchreport, which writes the
+// committed BENCH_PR*.json record; the benchmarks here are thin named
+// wrappers, so the two can never drift apart. Only the cache-ablation
+// (NoCache) variants, which exist solely in the test suite, keep local
+// bodies. This file lives in the external test package so it can import
+// benchfix without a cycle.
 
 import (
 	"math/rand"
 	"testing"
+
+	"cellmg/internal/benchfix"
+	"cellmg/internal/phylo"
 )
-
-// benchEngine builds a 42-taxon, 1167-site workload — the dimensions of the
-// paper's 42_SC input — so the kernel benchmarks measure the granularity the
-// paper's scheduler sees.
-func benchEngine(b *testing.B, model Model, cats RateCategories) (*Engine, *Tree) {
-	b.Helper()
-	_, aln, err := Simulate(SimulateOptions{Taxa: 42, Length: 1167, Seed: 42, MeanBranchLength: 0.08})
-	if err != nil {
-		b.Fatal(err)
-	}
-	data, err := Compress(aln)
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng, err := NewEngine(data, model, cats)
-	if err != nil {
-		b.Fatal(err)
-	}
-	tree, err := NewRandomTree(data.Names, rand.New(rand.NewSource(1)))
-	if err != nil {
-		b.Fatal(err)
-	}
-	return eng, tree
-}
-
-// benchInternalNode picks an internal node for single-kernel benchmarks.
-func benchInternalNode(b *testing.B, tree *Tree) *Node {
-	b.Helper()
-	var node *Node
-	PostOrder(tree.Root, func(n *Node) {
-		if node == nil && !n.IsTip() && n.Parent != nil {
-			node = n
-		}
-	})
-	if node == nil {
-		b.Fatal("tree has no internal non-root node")
-	}
-	return node
-}
-
-// BenchmarkNewview measures one conditional-likelihood-vector update — the
-// paper's dominant off-loaded kernel (76.8% of sequential time).
-func BenchmarkNewview(b *testing.B) {
-	eng, tree := benchEngine(b, NewJC69(), SingleRate())
-	eng.LogLikelihood(tree) // populate buffers and the transition cache
-	node := benchInternalNode(b, tree)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		eng.Newview(node)
-	}
-}
-
-// BenchmarkNewviewGamma4 is the same update with four discrete-Gamma rate
-// categories (4x the arithmetic and cache footprint per pattern).
-func BenchmarkNewviewGamma4(b *testing.B) {
-	rates, err := DiscreteGamma(0.8, 4)
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng, tree := benchEngine(b, NewJC69(), rates)
-	eng.LogLikelihood(tree)
-	node := benchInternalNode(b, tree)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		eng.Newview(node)
-	}
-}
 
 // benchGTR returns a GTR model with non-trivial exchange rates, the
 // configuration whose transition matrices cost an eigen-exponential each —
 // what the transition cache exists to amortize.
-func benchGTR(b *testing.B) *GTR {
+func benchGTR(b *testing.B) *phylo.GTR {
 	b.Helper()
-	g, err := NewGTR([6]float64{1.5, 3, 0.7, 1.2, 4, 1}, Frequencies{0.28, 0.22, 0.24, 0.26})
+	g, err := benchfix.BenchGTR()
 	if err != nil {
 		b.Fatal(err)
 	}
 	return g
 }
 
-func benchGamma4(b *testing.B) RateCategories {
+func benchGamma4(b *testing.B) phylo.RateCategories {
 	b.Helper()
-	rates, err := DiscreteGamma(0.8, 4)
+	rates, err := benchfix.BenchGamma4()
 	if err != nil {
 		b.Fatal(err)
 	}
 	return rates
+}
+
+// BenchmarkNewview measures one conditional-likelihood-vector update — the
+// paper's dominant off-loaded kernel (76.8% of sequential time).
+func BenchmarkNewview(b *testing.B) {
+	benchfix.Newview(phylo.NewJC69(), phylo.SingleRate())(b)
+}
+
+// BenchmarkNewviewGamma4 is the same update with four discrete-Gamma rate
+// categories (4x the arithmetic and cache footprint per pattern).
+func BenchmarkNewviewGamma4(b *testing.B) {
+	benchfix.Newview(phylo.NewJC69(), benchGamma4(b))(b)
 }
 
 // BenchmarkNewviewGTRGamma4 and its NoCache counterpart quantify what the
@@ -100,21 +54,17 @@ func benchGamma4(b *testing.B) RateCategories {
 // cache disabled every Newview recomputes eight eigen-exponential matrices
 // (two children x four rate categories).
 func BenchmarkNewviewGTRGamma4(b *testing.B) {
-	eng, tree := benchEngine(b, benchGTR(b), benchGamma4(b))
-	eng.LogLikelihood(tree)
-	node := benchInternalNode(b, tree)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		eng.Newview(node)
-	}
+	benchfix.Newview(benchGTR(b), benchGamma4(b))(b)
 }
 
 func BenchmarkNewviewGTRGamma4NoCache(b *testing.B) {
-	eng, tree := benchEngine(b, benchGTR(b), benchGamma4(b))
+	eng, tree, err := benchfix.KernelEngine(benchGTR(b), benchGamma4(b))
+	if err != nil {
+		b.Fatal(err)
+	}
 	eng.SetTransitionCache(false)
 	eng.LogLikelihood(tree)
-	node := benchInternalNode(b, tree)
+	node := benchfix.KernelInternalNode(tree)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -123,65 +73,44 @@ func BenchmarkNewviewGTRGamma4NoCache(b *testing.B) {
 }
 
 // BenchmarkEvaluate measures one full log-likelihood evaluation (a post-order
-// newview sweep plus the root evaluation) in steady state: the warm-up call
-// sizes every engine buffer and fills the transition cache, so the timed loop
-// is the pure kernel cost.
+// newview sweep plus the root evaluation) in steady state; every iteration
+// invalidates everything so the whole tree really recomputes.
 func BenchmarkEvaluate(b *testing.B) {
-	eng, tree := benchEngine(b, NewJC69(), SingleRate())
-	eng.LogLikelihood(tree)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		eng.LogLikelihood(tree)
-	}
+	benchfix.EvaluateFullSweep(phylo.SingleRate())(b)
 }
 
 // BenchmarkEvaluateGamma4 is the same with four discrete-Gamma rate
 // categories (the memory- and compute-heavier configuration real analyses
 // use).
 func BenchmarkEvaluateGamma4(b *testing.B) {
-	rates, err := DiscreteGamma(0.8, 4)
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng, tree := benchEngine(b, NewJC69(), rates)
-	eng.LogLikelihood(tree)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		eng.LogLikelihood(tree)
-	}
+	benchfix.EvaluateFullSweep(benchGamma4(b))(b)
+}
+
+// BenchmarkEvaluateIncremental measures the partial-traversal path the tree
+// search lives on: invalidate one edge, re-evaluate — the per-candidate cost
+// model of the incremental NNI search.
+func BenchmarkEvaluateIncremental(b *testing.B) {
+	benchfix.EvaluateIncremental()(b)
 }
 
 // BenchmarkMakenewz measures one branch-length optimization (Newton-Raphson
 // on one edge), the paper's second hottest kernel, in steady state.
 func BenchmarkMakenewz(b *testing.B) {
-	eng, tree := benchEngine(b, NewJC69(), SingleRate())
-	edge := tree.Edges()[len(tree.Edges())/2]
-	eng.OptimizeBranch(tree, edge) // converge the edge and warm the caches
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		eng.OptimizeBranch(tree, edge)
-	}
+	benchfix.Makenewz(phylo.NewJC69(), phylo.SingleRate())(b)
 }
 
 // BenchmarkMakenewzGTRGamma4 and its NoCache counterpart measure the Newton
 // kernel under the expensive model family; with the cache disabled every
 // Newton iteration recomputes its twelve derivative matrices from the model.
 func BenchmarkMakenewzGTRGamma4(b *testing.B) {
-	eng, tree := benchEngine(b, benchGTR(b), benchGamma4(b))
-	edge := tree.Edges()[len(tree.Edges())/2]
-	eng.OptimizeBranch(tree, edge)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		eng.OptimizeBranch(tree, edge)
-	}
+	benchfix.Makenewz(benchGTR(b), benchGamma4(b))(b)
 }
 
 func BenchmarkMakenewzGTRGamma4NoCache(b *testing.B) {
-	eng, tree := benchEngine(b, benchGTR(b), benchGamma4(b))
+	eng, tree, err := benchfix.KernelEngine(benchGTR(b), benchGamma4(b))
+	if err != nil {
+		b.Fatal(err)
+	}
 	eng.SetTransitionCache(false)
 	edge := tree.Edges()[len(tree.Edges())/2]
 	eng.OptimizeBranch(tree, edge)
@@ -195,26 +124,37 @@ func BenchmarkMakenewzGTRGamma4NoCache(b *testing.B) {
 // BenchmarkBootstrapResample measures drawing one bootstrap replicate's
 // weights.
 func BenchmarkBootstrapResample(b *testing.B) {
-	_, aln, _ := Simulate(SimulateOptions{Taxa: 42, Length: 1167, Seed: 2})
-	data, _ := Compress(aln)
+	_, aln, _ := phylo.Simulate(phylo.SimulateOptions{Taxa: 42, Length: 1167, Seed: 2})
+	data, _ := phylo.Compress(aln)
 	rng := rand.New(rand.NewSource(9))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BootstrapWeights(data, rng)
+		phylo.BootstrapWeights(data, rng)
 	}
+}
+
+// BenchmarkSearchNNI measures a 50-taxon NNI search in the incremental mode
+// (dirty-path partial traversals + local re-optimization per candidate,
+// the default) against the FullRefresh baseline (every candidate re-optimizes
+// all branches — the pre-incremental search structure). The incremental mode
+// must be at least 2x faster; the equivalence tests in incremental_test.go
+// prove the likelihoods it reports are byte-identical to full recomputation.
+func BenchmarkSearchNNI(b *testing.B) {
+	b.Run("incremental", benchfix.SearchNNI(false))
+	b.Run("fullrefresh", benchfix.SearchNNI(true))
 }
 
 // BenchmarkSmallSearch measures a complete small tree search — the unit of
 // task-level parallelism in the native runtime benchmarks.
 func BenchmarkSmallSearch(b *testing.B) {
-	_, aln, _ := Simulate(SimulateOptions{Taxa: 8, Length: 300, Seed: 5, MeanBranchLength: 0.1})
-	data, _ := Compress(aln)
+	_, aln, _ := phylo.Simulate(phylo.SimulateOptions{Taxa: 8, Length: 300, Seed: 5, MeanBranchLength: 0.1})
+	data, _ := phylo.Compress(aln)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng, _ := NewEngine(data, NewJC69(), SingleRate())
-		if _, err := eng.Search(SearchOptions{SmoothingRounds: 2, MaxRounds: 2, Epsilon: 0.05, Seed: int64(i)}); err != nil {
+		eng, _ := phylo.NewEngine(data, phylo.NewJC69(), phylo.SingleRate())
+		if _, err := eng.Search(phylo.SearchOptions{SmoothingRounds: 2, MaxRounds: 2, Epsilon: 0.05, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

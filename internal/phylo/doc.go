@@ -31,4 +31,25 @@
 // engine-owned argument blocks. SetTransitionCache(false) selects the
 // recompute-always reference path, which the equivalence tests hold the
 // cached path to exactly.
+//
+// # Incremental evaluation
+//
+// Likelihood evaluation is incremental (incremental.go): the Engine tracks
+// which conditional vectors each tree edit staled and its traversals
+// recompute only those, RAxML's partial-traversal scheme. The contract for
+// callers that mutate a bound tree directly:
+//
+//   - after changing v.Length, call InvalidateEdge(v);
+//   - after changing the composition of a subtree rooted at n (e.g. an
+//     NNIMove.Apply around edge n), call InvalidateNode(n);
+//   - after mutations you cannot describe edge by edge, call InvalidateAll
+//     (or Refresh, which also recomputes immediately). Both are always safe.
+//
+// OptimizeBranch, OptimizeAllBranches, OptimizeLocal and the search
+// invalidate their own updates; plain read-only evaluation needs nothing.
+// Because every conditional vector is a deterministic function of its
+// inputs, incremental results are byte-identical to a from-scratch Refresh
+// (asserted exactly by the property tests in incremental_test.go).
+// OptimizeLocal re-optimizes only the branches around a rearranged edge,
+// which is what makes per-candidate NNI cost independent of taxon count.
 package phylo

@@ -1,0 +1,273 @@
+package phylo
+
+// This file implements incremental likelihood evaluation: dirty-node tracking
+// for the subtree ("down") conditional vectors, epoch-stamped on-demand
+// recomputation of the outer ("out") vectors, and local branch optimization
+// around a rearranged edge.
+//
+// Motivation: the tree search mutates the tree in a constant-size
+// neighborhood per NNI candidate, but the seed engine recomputed every
+// conditional vector of the tree (a full computeDown + computeOut) before
+// every Newton pass, making per-candidate cost O(taxa). RAxML's partial
+// traversals are the standard fix: only the vectors an edit actually
+// invalidates are recomputed. The bookkeeping here mirrors that:
+//
+//   - down vectors: a change to the edge above v (length or subtree
+//     composition) stales exactly v's ancestor path up to the root.
+//     InvalidateEdge/InvalidateNode mark that path, which keeps the dirty set
+//     upward-closed: every dirty node is reachable from the root through
+//     dirty nodes, so the lazy computeDown can skip clean subtrees without
+//     scanning them.
+//
+//   - out vectors: out[v] depends on down[sibling(v)], sibling(v).Length,
+//     out[parent(v)] and parent(v).Length, so a single change near the root
+//     transitively stales out vectors across most of the tree — but a branch
+//     optimization only ever reads out[v] for the one edge it is optimizing.
+//     Instead of eagerly repairing everything, each node carries an epoch
+//     stamp; every materialized change bumps the engine's tree epoch, and
+//     ensureOut recomputes just the root-to-edge path whose stamps are stale.
+//     Within one epoch, repeat visits to the same region are free.
+//
+// Because each conditional vector is a deterministic function of its inputs,
+// skipping the recomputation of a vector whose inputs did not change yields
+// bit-identical results to a from-scratch Refresh — the property the
+// incremental equivalence tests assert exactly.
+//
+// Callers that mutate a tree directly (rather than through OptimizeBranch /
+// OptimizeAllBranches / OptimizeLocal / the search) must tell the engine:
+// InvalidateEdge(v) after changing v.Length, InvalidateNode(n) after changing
+// the composition of n's subtree (e.g. after NNIMove.Apply, invalidate the
+// move's edge node). Refresh and InvalidateAll remain the full-recompute
+// fallbacks and are always safe. Binding a different *Tree to the engine
+// discards all tracked state automatically.
+
+// bindTree points the incremental state at t, sizing the tracking arrays and
+// discarding any state tracked for a previous tree. It is idempotent and
+// cheap when t is already bound.
+func (e *Engine) bindTree(t *Tree) {
+	e.ensureBuffers(t)
+	if e.lastTree == t && len(e.downDirty) >= len(t.Nodes) {
+		return
+	}
+	n := len(t.Nodes)
+	if cap(e.downDirty) < n {
+		e.downDirty = make([]bool, n)
+		e.outEpoch = make([]uint64, n)
+		e.visitMark = make([]uint64, n)
+		e.edgeMark = make([]uint64, n)
+	}
+	e.downDirty = e.downDirty[:n]
+	e.outEpoch = e.outEpoch[:n]
+	e.visitMark = e.visitMark[:n]
+	e.edgeMark = e.edgeMark[:n]
+	e.lastTree = t
+	e.markAllDirty()
+}
+
+// markAllDirty forces the next traversal to recompute everything: every down
+// vector is marked stale and the epoch bump puts every out stamp in the past.
+func (e *Engine) markAllDirty() {
+	for i := range e.downDirty {
+		e.downDirty[i] = true
+	}
+	e.anyDirty = true
+	e.treeEpoch++
+}
+
+// InvalidateAll marks every conditional vector of the bound tree stale — the
+// catch-all for callers that mutated the tree in ways they cannot (or do not
+// want to) describe edge by edge. The next traversal is a full recompute.
+func (e *Engine) InvalidateAll() {
+	if e.lastTree == nil {
+		return
+	}
+	e.markAllDirty()
+}
+
+// InvalidateEdge records that the length of the edge above v changed: v's
+// strict ancestors' down vectors are stale (each folds v's subtree through
+// P(v.Length)), and every out vector computed before the change may read the
+// old length, so the tree epoch advances unconditionally.
+func (e *Engine) InvalidateEdge(v *Node) {
+	if e.lastTree == nil || v == nil || v.Parent == nil {
+		return
+	}
+	e.treeEpoch++
+	e.markAncestors(v.Parent)
+}
+
+// InvalidateNode records that the subtree composition of n changed (its
+// children were reassigned, e.g. by an NNI rearrangement): n's own down
+// vector and those of all its ancestors are stale, and all out stamps are
+// pushed into the past by the epoch bump.
+func (e *Engine) InvalidateNode(n *Node) {
+	if e.lastTree == nil || n == nil {
+		return
+	}
+	e.treeEpoch++
+	e.markAncestors(n)
+}
+
+// markAncestors marks n and its ancestors down-dirty, keeping the dirty set
+// upward-closed. The walk stops early when it meets an already-dirty node:
+// its ancestors are dirty by the invariant.
+func (e *Engine) markAncestors(n *Node) {
+	for ; n != nil; n = n.Parent {
+		if n.IsTip() {
+			continue
+		}
+		if e.downDirty[n.ID] {
+			return
+		}
+		e.downDirty[n.ID] = true
+		e.anyDirty = true
+	}
+}
+
+// downWalk is the lazy post-order Newview sweep: it descends only into dirty
+// subtrees (the dirty set is upward-closed, so every dirty node sits below a
+// chain of dirty ancestors).
+func (e *Engine) downWalk(n *Node) {
+	if n.IsTip() || !e.downDirty[n.ID] {
+		return
+	}
+	for _, c := range n.Children {
+		e.downWalk(c)
+	}
+	e.Newview(n)
+	e.downDirty[n.ID] = false
+}
+
+// ensureOut makes out[v] (and the out vectors of v's ancestors it depends on)
+// valid for the current tree state: it settles the down vectors first, then
+// recomputes the root-to-v path top-down, skipping nodes whose stamp is
+// already from the current epoch.
+func (e *Engine) ensureOut(t *Tree, v *Node) {
+	e.computeDown(t)
+	e.pathBuf = e.pathBuf[:0]
+	for n := v; n.Parent != nil; n = n.Parent {
+		e.pathBuf = append(e.pathBuf, n)
+	}
+	e.outA.freqs = e.Model.Frequencies()
+	for i := len(e.pathBuf) - 1; i >= 0; i-- {
+		n := e.pathBuf[i]
+		if e.outEpoch[n.ID] != e.treeEpoch {
+			e.computeOutOne(n.Parent, n)
+			e.outEpoch[n.ID] = e.treeEpoch
+		}
+	}
+}
+
+// computeOutOne refreshes the outer vector of one child v of u. The caller
+// must have set e.outA.freqs and ensured the down vectors and out[u] are
+// current.
+func (e *Engine) computeOutOne(u, v *Node) {
+	a := &e.outA
+	if u.Parent != nil {
+		a.pup = e.transitionFlat(u.Length, 1)
+		a.uv = e.out[u.ID]
+		a.uscale = e.outScale[u.ID]
+	} else {
+		a.pup = nil
+		a.uv = nil
+		a.uscale = nil
+	}
+	sib := v.Sibling()
+	a.sv, a.sscale = e.childVector(sib)
+	a.psib = e.transitionFlat(sib.Length, 0)
+	a.dst = e.out[v.ID]
+	a.scale = e.outScale[v.ID]
+	e.par(e.nPat, e.outFn)
+}
+
+// collectLocalEdges gathers into e.edgeBuf every node whose edge (to its
+// parent) has an endpoint within radius-1 node-hops of the edge above v,
+// i.e. of the endpoint set {v, v.Parent}. Radius 1 yields the classic NNI
+// quartet neighborhood: v itself, its two children, its sibling and v's
+// parent's edge (~5 branches). The scratch buffers are engine-owned, so the
+// collection allocates nothing in steady state; the returned slice is valid
+// until the next call.
+func (e *Engine) collectLocalEdges(t *Tree, v *Node, radius int) []*Node {
+	e.bindTree(t)
+	e.visitGen++
+	gen := e.visitGen
+	e.localBuf = e.localBuf[:0]
+	e.edgeBuf = e.edgeBuf[:0]
+	seed := func(n *Node) {
+		if n != nil && e.visitMark[n.ID] != gen {
+			e.visitMark[n.ID] = gen
+			e.localBuf = append(e.localBuf, n)
+		}
+	}
+	seed(v)
+	seed(v.Parent)
+	// Breadth-first expansion to radius-1 hops over the unrooted adjacency
+	// (parent + children).
+	frontier := len(e.localBuf)
+	for hop := 1; hop < radius; hop++ {
+		start := len(e.localBuf) - frontier
+		for _, n := range e.localBuf[start:] {
+			seed(n.Parent)
+			for _, c := range n.Children {
+				seed(c)
+			}
+		}
+		frontier = len(e.localBuf) - start - frontier
+		if frontier == 0 {
+			break
+		}
+	}
+	addEdge := func(n *Node) {
+		if n.Parent != nil && e.edgeMark[n.ID] != gen {
+			e.edgeMark[n.ID] = gen
+			e.edgeBuf = append(e.edgeBuf, n)
+		}
+	}
+	for _, n := range e.localBuf {
+		addEdge(n)
+		for _, c := range n.Children {
+			addEdge(c)
+		}
+	}
+	return e.edgeBuf
+}
+
+// optimizeEdges runs up to the given number of smoothing rounds over an
+// explicit edge set (each entry a node standing for the edge to its parent),
+// stopping early once the lengths converge, and returns the tree's
+// log-likelihood.
+func (e *Engine) optimizeEdges(t *Tree, edges []*Node, rounds int) float64 {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	for round := 0; round < rounds; round++ {
+		changed := false
+		for _, u := range edges {
+			if e.optimizeEdge(t, u) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return e.LogLikelihood(t)
+}
+
+// OptimizeLocal Newton-optimizes only the branches within radius node-hops of
+// the edge above v — the local re-optimization step of lazy tree search:
+// after an NNI rearrangement the move only perturbs a constant-size
+// neighborhood, so re-optimizing the ~5 incident branches (radius 1) is
+// enough to score the candidate, at O(depth) traversal cost per branch
+// instead of the O(taxa) of OptimizeAllBranches. It runs up to the given
+// number of smoothing rounds over the local set (stopping early once the
+// lengths converge) and returns the tree's log-likelihood.
+func (e *Engine) OptimizeLocal(t *Tree, v *Node, radius, rounds int) float64 {
+	if v == nil || v.Parent == nil {
+		return e.OptimizeAllBranches(t, rounds)
+	}
+	if radius <= 0 {
+		radius = 1
+	}
+	return e.optimizeEdges(t, e.collectLocalEdges(t, v, radius), rounds)
+}

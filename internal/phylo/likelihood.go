@@ -51,6 +51,12 @@ type KernelStats struct {
 // the kernel loop bodies are persistent closures created once at
 // construction, and every per-pattern buffer is engine-owned and reused.
 // Mutating Model or Rates in place requires InvalidateTransitions.
+//
+// Likelihood evaluation is incremental (incremental.go): the engine tracks
+// which conditional vectors a tree mutation staled and traversals recompute
+// only those. Callers that mutate a bound tree directly must report it via
+// InvalidateEdge/InvalidateNode (or fall back to Refresh/InvalidateAll);
+// the optimization and search entry points do this themselves.
 type Engine struct {
 	Data  *PatternAlignment
 	Model Model
@@ -87,8 +93,22 @@ type Engine struct {
 	outA   computeOutArgs
 	evalA  evaluateArgs
 
-	downVisit func(n *Node) // post-order Newview sweep body
-	outVisit  func(n *Node) // pre-order outer-vector sweep body
+	outVisit func(n *Node) // pre-order outer-vector sweep body
+
+	// Incremental state (incremental.go): dirty-node tracking for the down
+	// vectors, epoch stamps for the out vectors, and scratch buffers for the
+	// local-neighborhood traversals. All slices are indexed by Node.ID.
+	lastTree  *Tree
+	downDirty []bool   // down[n] needs recomputation
+	anyDirty  bool     // fast path: false means every down vector is current
+	treeEpoch uint64   // bumped on every materialized change to the tree
+	outEpoch  []uint64 // epoch at which out[n] was last computed
+	visitGen  uint64   // generation counter for the scratch marks below
+	visitMark []uint64 // node-visited marks for collectLocalEdges
+	edgeMark  []uint64 // edge-collected marks for collectLocalEdges
+	pathBuf   []*Node  // root-to-edge path scratch for ensureOut
+	localBuf  []*Node  // BFS frontier scratch for collectLocalEdges
+	edgeBuf   []*Node  // collected local edge set (valid until the next call)
 }
 
 // NewEngine creates a likelihood engine for the alignment, model and rate
@@ -117,11 +137,6 @@ func NewEngine(data *PatternAlignment, model Model, rates RateCategories) (*Engi
 	e.nvFn = e.newviewBody
 	e.outFn = e.computeOutBody
 	e.evalFn = e.evaluateBody
-	e.downVisit = func(n *Node) {
-		if !n.IsTip() {
-			e.Newview(n)
-		}
-	}
 	e.outVisit = e.computeOutNode
 	return e, nil
 }
@@ -268,11 +283,18 @@ func (e *Engine) Newview(n *Node) {
 	e.par(e.nPat, e.nvFn)
 }
 
-// computeDown refreshes every subtree conditional vector with a post-order
-// traversal.
+// computeDown settles every stale subtree conditional vector with a lazy
+// post-order traversal: the dirty set (incremental.go) is upward-closed, so
+// the walk descends only into dirty subtrees and clean regions cost nothing.
+// After a full invalidation (bindTree, Refresh, InvalidateAll) this is the
+// classic whole-tree Newview sweep.
 func (e *Engine) computeDown(t *Tree) {
-	e.ensureBuffers(t)
-	PostOrder(t.Root, e.downVisit)
+	e.bindTree(t)
+	if !e.anyDirty {
+		return
+	}
+	e.downWalk(t.Root)
+	e.anyDirty = false
 }
 
 // computeOutArgs is the argument block of the outer-vector loop body.
@@ -375,22 +397,29 @@ func (e *Engine) computeOutNode(u *Node) {
 		a.dst = e.out[v.ID]
 		a.scale = e.outScale[v.ID]
 		e.par(e.nPat, e.outFn)
+		e.outEpoch[v.ID] = e.treeEpoch
 	}
 }
 
 // computeOut refreshes, for every non-root node, the conditional likelihood
 // of all data outside its subtree (given the state at its parent), with a
-// pre-order traversal. computeDown must have run first.
+// pre-order traversal, stamping every node with the current tree epoch.
+// computeDown must have run first. Branch optimization does not call this:
+// it repairs only the root-to-edge path it needs through ensureOut
+// (incremental.go).
 func (e *Engine) computeOut(t *Tree) {
 	e.outA.freqs = e.Model.Frequencies()
 	PreOrder(t.Root, e.outVisit)
 }
 
 // Refresh recomputes every inner (down) and outer (out) conditional vector of
-// the tree. It is what OptimizeBranch runs internally before each Newton
-// optimization; calibration and benchmarks use it to put the engine in the
-// state Makenewz expects.
+// the tree from scratch — the full-recompute fallback of the incremental
+// machinery. It is always safe regardless of what mutations the tree has seen;
+// calibration and benchmarks use it to put the engine in the state Makenewz
+// expects.
 func (e *Engine) Refresh(t *Tree) {
+	e.bindTree(t)
+	e.markAllDirty()
 	e.computeDown(t)
 	e.computeOut(t)
 }
@@ -459,7 +488,11 @@ func (e *Engine) EvaluateRoot(t *Tree) float64 {
 	return e.evaluateAtRoot(t)
 }
 
-// LogLikelihood fully recomputes and returns the log-likelihood of the tree.
+// LogLikelihood returns the log-likelihood of the tree, recomputing only the
+// conditional vectors invalidated since the last evaluation (all of them the
+// first time the engine sees t). Callers that mutated the tree directly must
+// have invalidated the affected edges (see incremental.go); Refresh is the
+// always-safe full recompute.
 func (e *Engine) LogLikelihood(t *Tree) float64 {
 	e.computeDown(t)
 	return e.evaluateAtRoot(t)
@@ -561,13 +594,15 @@ func (e *Engine) makenewz(v *Node) float64 {
 // calibration uses it to time the kernel in isolation.
 func (e *Engine) MakenewzEdge(v *Node) float64 { return e.makenewz(v) }
 
-// optimizeEdge refreshes the conditional vectors and Newton-optimizes the
-// length of the edge above v, keeping the new length only if it genuinely
-// improves the likelihood (which, with fresh vectors, makes every accepted
-// update monotone). It reports whether the length changed materially.
+// optimizeEdge settles the conditional vectors the edge above v depends on
+// (a partial traversal: only stale down vectors and the root-to-v out path
+// are recomputed) and Newton-optimizes its length, keeping the new length
+// only if it genuinely improves the likelihood (which, with settled vectors,
+// makes every accepted update monotone). An accepted change invalidates the
+// ancestor path so later traversals see it. It reports whether the length
+// changed materially.
 func (e *Engine) optimizeEdge(t *Tree, v *Node) bool {
-	e.computeDown(t)
-	e.computeOut(t)
+	e.ensureOut(t, v)
 	before, _, _ := e.edgeDerivatives(v, v.Length)
 	old := v.Length
 	nb := e.makenewz(v)
@@ -576,6 +611,7 @@ func (e *Engine) optimizeEdge(t *Tree, v *Node) bool {
 		return false
 	}
 	v.Length = nb
+	e.InvalidateEdge(v)
 	return math.Abs(nb-old) > 1e-7
 }
 
@@ -590,13 +626,25 @@ func (e *Engine) OptimizeBranch(t *Tree, v *Node) float64 {
 }
 
 // OptimizeAllBranches performs the given number of smoothing rounds: each
-// round Newton-optimizes every branch once, refreshing the conditional
-// vectors before each edge so that every accepted update improves the
-// likelihood. It returns the final log-likelihood.
+// round Newton-optimizes every branch once, settling the conditional vectors
+// each edge depends on (a partial traversal, not a full refresh) so that
+// every accepted update improves the likelihood. It returns the final
+// log-likelihood. OptimizeLocal is the constant-size-neighborhood variant
+// the tree search uses per NNI candidate.
 func (e *Engine) OptimizeAllBranches(t *Tree, rounds int) float64 {
+	ll, _ := e.optimizeAllBranches(t, rounds)
+	return ll
+}
+
+// optimizeAllBranches additionally reports whether the smoothing converged
+// (a full round changed no length materially) rather than stopping at the
+// rounds cap while still improving — the search uses this to decide whether
+// a final smoothing pass would repeat work or continue it.
+func (e *Engine) optimizeAllBranches(t *Tree, rounds int) (float64, bool) {
 	if rounds <= 0 {
 		rounds = 1
 	}
+	converged := false
 	for round := 0; round < rounds; round++ {
 		changed := false
 		for _, v := range t.Edges() {
@@ -605,8 +653,9 @@ func (e *Engine) OptimizeAllBranches(t *Tree, rounds int) float64 {
 			}
 		}
 		if !changed {
+			converged = true
 			break
 		}
 	}
-	return e.LogLikelihood(t)
+	return e.LogLikelihood(t), converged
 }

@@ -22,7 +22,19 @@ type SearchOptions struct {
 	// (and once before the first). It must be cheap; it runs on the search's
 	// goroutine (under the native runtime, that is the task's master worker).
 	Progress func(SearchProgress)
+	// FullRefresh disables incremental candidate evaluation: every NNI
+	// candidate is scored by re-optimizing all branches of the tree (the
+	// pre-incremental search structure), returning per-candidate cost to
+	// O(taxa). It exists as the baseline for the incremental benchmarks and
+	// as a safety fallback; leave it false for normal use.
+	FullRefresh bool
 }
+
+// nniRadius is the neighborhood re-optimized around a rearranged edge when
+// scoring an NNI candidate: radius 1 covers the ~5 branches of the classic
+// quartet around the edge, which is what RAxML's lazy SPR/NNI scoring
+// re-optimizes as well.
+const nniRadius = 1
 
 // SearchProgress is a snapshot handed to SearchOptions.Progress.
 type SearchProgress struct {
@@ -64,6 +76,13 @@ type SearchResult struct {
 // stepwise-addition tree, optimize its branch lengths, then repeatedly sweep
 // all nearest-neighbour interchanges, accepting improvements, until a sweep
 // yields none (or MaxRounds is reached).
+//
+// Candidate evaluation is incremental: applying a move invalidates only the
+// rearranged edge's ancestor path, scoring re-optimizes only the ~5 branches
+// around the edge (OptimizeLocal), and the full-tree branch optimization runs
+// only when a move is accepted — per-candidate cost is O(1) likelihood
+// kernels plus an O(depth) partial traversal instead of the O(taxa) full
+// refresh of the pre-incremental search (see SearchOptions.FullRefresh).
 func (e *Engine) Search(opts SearchOptions) (*SearchResult, error) {
 	return e.SearchContext(context.Background(), opts)
 }
@@ -102,7 +121,12 @@ func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchO
 		return nil, err
 	}
 	res := &SearchResult{Tree: tree}
-	best := e.OptimizeAllBranches(tree, opts.SmoothingRounds)
+	// smoothConverged tracks whether the tree currently sits in the state of
+	// a *converged* full smoothing pass (as opposed to one stopped at the
+	// SmoothingRounds cap while still improving); rejected candidates are
+	// restored byte-exactly, so only accepted moves and the smoothing calls
+	// themselves change it.
+	best, smoothConverged := e.optimizeAllBranches(tree, opts.SmoothingRounds)
 	res.StartLogLik = best
 
 	report := func(round int) {
@@ -118,23 +142,30 @@ func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchO
 	}
 	report(0)
 
-	// saveLengths/restoreLengths snapshot every branch length so that a
-	// rejected rearrangement leaves no trace: the candidate evaluation
+	// A rejected rearrangement must leave no trace: the candidate evaluation
 	// re-optimizes branch lengths, and keeping those for a reverted topology
-	// would poison subsequent comparisons.
-	saveLengths := func() []float64 {
-		out := make([]float64, len(tree.Nodes))
-		for i, n := range tree.Nodes {
-			out[i] = n.Length
+	// would poison subsequent comparisons. Only the branches the evaluation
+	// actually touched are snapshotted — the local neighborhood in the
+	// incremental mode, every edge under FullRefresh — into scratch buffers
+	// reused across all moves of the whole search (no per-candidate
+	// allocation).
+	var savedNodes []*Node
+	var savedLens []float64
+	snapshot := func(nodes []*Node) {
+		savedNodes = append(savedNodes[:0], nodes...)
+		savedLens = savedLens[:0]
+		for _, n := range nodes {
+			savedLens = append(savedLens, n.Length)
 		}
-		return out
 	}
-	restoreLengths := func(saved []float64) {
-		for i, n := range tree.Nodes {
-			n.Length = saved[i]
+	restore := func() {
+		for i, n := range savedNodes {
+			n.Length = savedLens[i]
+			e.InvalidateEdge(n)
 		}
 	}
 
+	lastSweepImproved := false
 	for round := 0; round < opts.MaxRounds; round++ {
 		res.Rounds++
 		improvedThisRound := false
@@ -143,28 +174,57 @@ func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchO
 				return nil, err
 			}
 			res.NNIEvaluated++
-			saved := saveLengths()
 			move.Apply()
+			e.InvalidateNode(move.Edge)
 			// Candidates get the same smoothing budget as the incumbent so
-			// the comparison is fair; OptimizeAllBranches stops early once
-			// the branch lengths converge.
-			candidate := e.OptimizeAllBranches(tree, opts.SmoothingRounds)
+			// the comparison is fair; the optimizers stop early once the
+			// branch lengths converge.
+			var candidate float64
+			if opts.FullRefresh {
+				snapshot(tree.Nodes)
+				candidate = e.OptimizeAllBranches(tree, opts.SmoothingRounds)
+			} else {
+				// Local re-optimization: the move only perturbed a
+				// constant-size neighborhood, so re-optimizing the branches
+				// around the rearranged edge is enough to score it.
+				snapshot(e.collectLocalEdges(tree, move.Edge, nniRadius))
+				candidate = e.optimizeEdges(tree, savedNodes, opts.SmoothingRounds)
+			}
 			if candidate > best+opts.Epsilon {
 				best = candidate
 				res.NNIAccepted++
 				improvedThisRound = true
 			} else {
 				move.Apply() // revert the topology...
-				restoreLengths(saved)
+				e.InvalidateNode(move.Edge)
+				restore()
 			}
 		}
+		if improvedThisRound && !opts.FullRefresh {
+			// One full smoothing pass per sweep consolidates the accepted
+			// rearrangements (every edge update is monotone, so this can
+			// only raise the score) — the RAxML pattern: local optimization
+			// scores candidates, global optimization runs once per round
+			// rather than once per accepted move.
+			best, smoothConverged = e.optimizeAllBranches(tree, opts.SmoothingRounds)
+		}
 		report(res.Rounds)
+		lastSweepImproved = improvedThisRound
 		if !improvedThisRound {
 			break
 		}
 	}
-	// Final thorough smoothing.
-	best = e.OptimizeAllBranches(tree, opts.SmoothingRounds)
+	// Final thorough smoothing — skipped in the incremental mode only when
+	// it would be a deterministic repeat: the tree sits in the state of a
+	// full smoothing pass that *converged* (the final sweep accepted
+	// nothing and restored every rejected candidate byte-exactly). When the
+	// last smoothing instead stopped at the SmoothingRounds cap while still
+	// improving, or fresh accepts arrived in the final sweep, this pass
+	// continues the smoothing — worth whole logL units on 50-taxon
+	// searches — matching the polish the baseline mode always gets.
+	if opts.FullRefresh || lastSweepImproved || !smoothConverged {
+		best = e.OptimizeAllBranches(tree, opts.SmoothingRounds)
+	}
 	res.LogLikelihood = best
 	return res, nil
 }

@@ -70,12 +70,16 @@ func (e *Engine) SetTransitionCache(on bool) {
 	e.InvalidateTransitions()
 }
 
-// InvalidateTransitions drops every cached transition matrix. It must be
-// called after mutating e.Model or e.Rates in place; branch-length changes
-// need no invalidation because the length itself is the cache key.
+// InvalidateTransitions drops every cached transition matrix and marks every
+// conditional vector stale. It must be called after mutating e.Model or
+// e.Rates in place: the conditional vectors were computed through the old
+// model's matrices, so the lazy traversals must not keep serving them
+// (branch-length changes, by contrast, need no invalidation because the
+// length itself is the cache key and optimizeEdge invalidates its updates).
 func (e *Engine) InvalidateTransitions() {
 	clear(e.probs)
 	clear(e.derivs)
+	e.InvalidateAll()
 }
 
 // CachedTransitions returns the number of distinct branch lengths currently

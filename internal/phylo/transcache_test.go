@@ -159,6 +159,7 @@ func TestBranchLengthChangeBypassesStaleEntry(t *testing.T) {
 	edge := tree.Edges()[0]
 	old := edge.Length
 	edge.Length = old * 3.5
+	eng.InvalidateEdge(edge) // direct mutations must be reported (incremental.go)
 	llChanged := eng.LogLikelihood(tree)
 	if llChanged == ll0 {
 		t.Fatalf("changing a branch length did not change the likelihood (stale cache entry?)")
@@ -173,6 +174,7 @@ func TestBranchLengthChangeBypassesStaleEntry(t *testing.T) {
 	// Restoring the length restores the exact original value, and an
 	// explicit flush changes nothing.
 	edge.Length = old
+	eng.InvalidateEdge(edge)
 	if got := eng.LogLikelihood(tree); got != ll0 {
 		t.Errorf("restored tree: %v != original %v", got, ll0)
 	}

@@ -97,6 +97,10 @@ func CalibrateNative(o CalibrateOptions) (*Calibration, error) {
 
 	// Warm up: size every buffer and fill the transition cache so the timed
 	// sweeps measure the steady-state kernel cost, not first-touch setup.
+	// Refresh is the engine's full-recompute path; the timed sweeps below
+	// invoke the kernels directly (Newview/EvaluateRoot/MakenewzEdge), which
+	// bypasses the incremental dirty tracking entirely — every timed call
+	// does real per-pattern work even though the tree never changes.
 	eng.Refresh(tree)
 
 	cal := &Calibration{Patterns: eng.NumPatterns(), Taxa: o.Taxa, Length: o.Length}
@@ -122,7 +126,8 @@ func CalibrateNative(o CalibrateOptions) (*Calibration, error) {
 		return 1
 	})
 
-	// makenewz: Newton-Raphson on every edge against fresh vectors.
+	// makenewz: Newton-Raphson on every edge against fresh vectors (the
+	// full Refresh restores every out vector the per-edge kernel reads).
 	eng.Refresh(tree)
 	edges := tree.Edges()
 	cal.Timings[Makenewz] = timeKernel(Makenewz, o.Rounds, func() int {
