@@ -3,9 +3,10 @@
 // the performance trajectory of the likelihood kernels and the tree search is
 // recorded per PR instead of living only in scrollback. CI runs it and
 // uploads the file as an artifact; the repository commits the snapshot for
-// the current PR (BENCH_PR5.json).
+// the current PR (BENCH_PR<N>.json).
 //
-//	go run ./cmd/benchreport -out BENCH_PR5.json
+//	go run ./cmd/benchreport -tag PR6            # writes BENCH_PR6.json
+//	go run ./cmd/benchreport -out some/path.json # explicit destination
 //
 // The benchmarks — fixtures and timed loop bodies alike — come from
 // internal/benchfix and are the same functions internal/phylo/bench_test.go
@@ -38,7 +39,7 @@ type Result struct {
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR5.json.
+// Report is the file layout of BENCH_PR<N>.json.
 type Report struct {
 	Go      string   `json:"go"`
 	Arch    string   `json:"arch"`
@@ -72,8 +73,12 @@ func fatalIf(err error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output file (- for stdout)")
+	tag := flag.String("tag", "PR6", "report tag; defaults -out to BENCH_<tag>.json")
+	out := flag.String("out", "", "output file (- for stdout); overrides -tag")
 	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *tag)
+	}
 
 	gamma, err := benchfix.BenchGamma4()
 	fatalIf(err)

@@ -1,0 +1,159 @@
+// Command cellmg-lint is the multichecker for the cellmg analyzer suite
+// (internal/analyzers): hotpathalloc, determinism, invalidation, parcapture.
+// See internal/analyzers/doc.go for what each pass enforces and how to waive
+// a finding.
+//
+// Standalone mode (the CI gate) loads packages from source and checks
+// non-test files:
+//
+//	cellmg-lint ./...              # exit 1 on findings
+//	cellmg-lint -tests ./...       # include in-package _test.go files
+//	cellmg-lint -fix ./...         # apply suggested fixes (waiver comments)
+//	cellmg-lint -only determinism ./internal/phylo
+//
+// Vet-tool mode implements the cmd/go unitchecker protocol, so the same
+// binary plugs into go vet (which also covers test compilations):
+//
+//	go build -o "$(go env GOPATH)/bin/cellmg-lint" ./cmd/cellmg-lint
+//	go vet -vettool="$(which cellmg-lint)" ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cellmg/internal/analyzers"
+	"cellmg/internal/analyzers/framework"
+)
+
+func main() {
+	// The cmd/go vet driver probes the tool before handing it a config:
+	//   tool -V=full   print a version fingerprint for the build cache
+	//   tool -flags    print the JSON flag schema
+	//   tool foo.cfg   analyze one compilation unit
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full" || os.Args[1] == "--V=full":
+			fmt.Printf("cellmg-lint version 1 (analyzers: %s)\n", strings.Join(analyzerNames(), ","))
+			return
+		case os.Args[1] == "-flags" || os.Args[1] == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(runUnit(os.Args[1]))
+		}
+	}
+
+	fs := flag.NewFlagSet("cellmg-lint", flag.ExitOnError)
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	fix := fs.Bool("fix", false, "apply suggested fixes (inserts //cellmg:allow waiver comments)")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cellmg-lint [flags] [patterns]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	suite := analyzers.All()
+	if *only != "" {
+		suite = analyzers.ByName(strings.Split(*only, ",")...)
+		if len(suite) == 0 {
+			fmt.Fprintf(os.Stderr, "cellmg-lint: no analyzers matched -only=%s\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load(framework.LoadConfig{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellmg-lint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := framework.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellmg-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if *fix && len(findings) > 0 {
+		if err := applyFixes(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "cellmg-lint: applying fixes: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cellmg-lint: applied fixes for %d findings\n", len(findings))
+		return
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range analyzers.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// applyFixes applies the first suggested fix of every finding, batching
+// edits per file and applying them back-to-front so positions stay valid.
+func applyFixes(findings []framework.Finding) error {
+	type edit struct {
+		off, end int
+		text     []byte
+	}
+	perFile := map[string][]edit{}
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		for _, te := range f.Fixes[0].TextEdits {
+			pos := f.Fset.Position(te.Pos)
+			end := f.Fset.Position(te.End)
+			perFile[pos.Filename] = append(perFile[pos.Filename], edit{pos.Offset, end.Offset, te.NewText})
+		}
+	}
+	for name, edits := range perFile {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].off > edits[j].off })
+		lastOff := -1
+		for _, e := range edits {
+			if e.off == lastOff {
+				continue // identical insertion point (several findings on one line)
+			}
+			lastOff = e.off
+			if e.off < 0 || e.end > len(data) || e.off > e.end {
+				continue
+			}
+			data = append(data[:e.off:e.off], append(e.text, data[e.end:]...)...)
+		}
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package main
+
+// Vet-tool mode: the cmd/go unitchecker protocol. `go vet -vettool=...`
+// invokes the tool once per compilation unit with a JSON config describing
+// the unit's files and the export data of its dependencies. This
+// implementation mirrors golang.org/x/tools/go/analysis/unitchecker on the
+// standard library: the unit's own files are parsed from source (so the
+// //cellmg: annotations are visible) and imports resolve through the gc
+// export data the go command already produced.
+//
+// The cellmg analyzers need no cross-package facts — the annotations that
+// matter to a unit are either in the unit itself (hotpath bodies,
+// deterministic files) or recoverable from types alone (kernel-method and
+// ParallelFor callees) — so the facts file written for the build cache is
+// always empty.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"cellmg/internal/analyzers"
+	"cellmg/internal/analyzers/framework"
+)
+
+// unitConfig is the JSON schema cmd/go writes for vet tools (see
+// cmd/go/internal/work and x/tools unitchecker.Config). Unknown fields are
+// ignored on purpose: the schema grows across Go releases.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellmg-lint: reading %s: %v\n", cfgFile, err)
+		return 2
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cellmg-lint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// The build cache requires the facts file regardless of findings.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "cellmg-lint: writing facts: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "cellmg-lint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{Importer: imp, Sizes: types.SizesFor(compiler, "amd64")}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "cellmg-lint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	pkg := &framework.Package{
+		Dir: cfg.Dir, Path: strings.TrimSuffix(cfg.ImportPath, "_test"),
+		Fset: fset, Files: files, Types: tpkg, Info: info,
+	}
+	findings, err := framework.RunAnalyzers([]*framework.Package{pkg}, analyzers.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellmg-lint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,26 @@
+package analyzers
+
+import "cellmg/internal/analyzers/framework"
+
+// All returns the full cellmg-lint suite in a stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		HotpathAlloc,
+		Determinism,
+		Invalidation,
+		Parcapture,
+	}
+}
+
+// ByName resolves a subset of the suite; unknown names are ignored.
+func ByName(names ...string) []*framework.Analyzer {
+	var out []*framework.Analyzer
+	for _, name := range names {
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

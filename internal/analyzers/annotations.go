@@ -1,0 +1,153 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cellmg/internal/analyzers/framework"
+)
+
+// The //cellmg: annotation vocabulary. Annotations are machine-readable
+// comments; doc.go documents each one for humans.
+const (
+	// annHotpath marks a function whose body hotpathalloc checks: it must be
+	// allocation-free and may only call other hotpath/hotpath-safe functions
+	// or whitelisted packages. Written in the function's doc comment.
+	annHotpath = "cellmg:hotpath"
+
+	// annHotpathSafe marks a function as callable FROM hotpath functions
+	// without its own body being checked — for functions that are
+	// allocation-free in steady state by contract (e.g. the transition cache
+	// lookup, which allocates only on a cold miss) and are guarded by
+	// testing.AllocsPerRun regression tests instead.
+	annHotpathSafe = "cellmg:hotpath-safe"
+
+	// annDeterministic marks a FILE as being under the determinism contract:
+	// no global math/rand, no wall-clock reads, no unsorted map iteration.
+	// Written above the package clause.
+	annDeterministic = "cellmg:deterministic"
+)
+
+// funcAnnotations scans the pass's files and classifies annotated function
+// declarations by their *types.Func object.
+type funcAnnotations struct {
+	hotpath map[*types.Func]bool // body is checked
+	safe    map[*types.Func]bool // callable from hotpath, body not checked
+	decls   map[*types.Func]*ast.FuncDecl
+}
+
+func collectFuncAnnotations(pass *framework.Pass) *funcAnnotations {
+	fa := &funcAnnotations{
+		hotpath: map[*types.Func]bool{},
+		safe:    map[*types.Func]bool{},
+		decls:   map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				switch directive(c.Text) {
+				case annHotpath:
+					fa.hotpath[obj] = true
+					fa.decls[obj] = fd
+				case annHotpathSafe:
+					fa.safe[obj] = true
+				}
+			}
+		}
+	}
+	return fa
+}
+
+// directive returns the cellmg:... directive of a comment line, or "".
+func directive(comment string) string {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "cellmg:") {
+		return ""
+	}
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		text = text[:i]
+	}
+	return text
+}
+
+// fileIsDeterministic reports whether the file carries //cellmg:deterministic
+// above its package clause.
+func fileIsDeterministic(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.End() > file.Package {
+			continue
+		}
+		for _, c := range cg.List {
+			if directive(c.Text) == annDeterministic {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the static callee of a call expression, or nil for
+// dynamic calls (through function values, bound-method values, or builtins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok && sel.Kind() == types.MethodVal {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F(...).
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleeBuiltin resolves a call to a builtin (make, append, len, ...), or nil.
+func calleeBuiltin(info *types.Info, call *ast.CallExpr) *types.Builtin {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	b, _ := info.Uses[id].(*types.Builtin)
+	return b
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// funcPkgPath returns the import path of the package declaring f ("" for
+// builtins/universe scope).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isInterfaceMethod reports whether f is declared on an interface type
+// (dynamic dispatch — no static body to check).
+func isInterfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}

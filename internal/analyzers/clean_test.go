@@ -1,0 +1,75 @@
+package analyzers
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"cellmg/internal/analyzers/framework"
+)
+
+// moduleRoot walks up from the test working directory to the enclosing
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// TestRepoLintClean runs every analyzer over the whole module, test files
+// included, and demands zero findings: the invariants the suite encodes are
+// repo law, and any intentional exception must carry a //cellmg:allow waiver
+// with its justification.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is slow; skipped with -short")
+	}
+	pkgs, err := framework.Load(framework.LoadConfig{Dir: moduleRoot(t), Tests: true}, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	findings, err := framework.RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestGoVetIntegration builds cmd/cellmg-lint and runs it as a go vet
+// -vettool over the whole module, exercising the unitchecker protocol
+// (-V=full, -flags, *.cfg) end to end. This is exactly the CI lint gate.
+func TestGoVetIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module twice; skipped with -short")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "cellmg-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cellmg-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cellmg-lint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool reported findings or failed: %v\n%s", err, out)
+	}
+}

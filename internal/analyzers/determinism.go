@@ -1,0 +1,89 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cellmg/internal/analyzers/framework"
+)
+
+// randConstructors are the math/rand package-level functions that merely
+// build generator state from an explicit seed — deterministic by
+// construction and therefore allowed in deterministic files.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewChaCha8": true,
+	"NewPCG":     true,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// Determinism enforces the byte-reproducibility contract of PR 2 — every
+// result must be a pure function of the job seed, derived per stream via
+// phylo.DeriveSeed — at compile time, in every file annotated
+// //cellmg:deterministic.
+var Determinism = &framework.Analyzer{
+	Name: "determinism",
+	Doc: `forbid nondeterministic inputs in //cellmg:deterministic files
+
+In a file whose package clause is annotated //cellmg:deterministic the
+analyzer flags:
+  - calls to global math/rand (and math/rand/v2) top-level functions, whose
+    process-wide generator makes results depend on goroutine interleaving;
+    seeded generators (rand.New(rand.NewSource(phylo.DeriveSeed(...)))) are
+    the sanctioned replacement and are not flagged
+  - time.Now / time.Since / time.Until, which read the wall clock
+  - range statements over maps, whose iteration order is randomized; sort the
+    keys first, or waive the site when the order provably cannot reach any
+    output (//cellmg:allow determinism -- reason)`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *framework.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if !fileIsDeterministic(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				callee := calleeFunc(info, n)
+				if callee == nil {
+					return true
+				}
+				sig, _ := callee.Type().(*types.Signature)
+				isTopLevel := sig != nil && sig.Recv() == nil
+				switch funcPkgPath(callee) {
+				case "math/rand", "math/rand/v2":
+					if isTopLevel && !randConstructors[callee.Name()] {
+						pass.ReportWithWaiverFix(n.Pos(), n.End(),
+							"deterministic file calls global rand.%s; use a seeded rand.Rand derived via phylo.DeriveSeed", callee.Name())
+					}
+				case "time":
+					if isTopLevel && wallClockFuncs[callee.Name()] {
+						pass.ReportWithWaiverFix(n.Pos(), n.End(),
+							"deterministic file reads the wall clock via time.%s", callee.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := info.Types[n.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.ReportWithWaiverFix(n.Pos(), n.X.End(),
+							"deterministic file iterates a map; iteration order is randomized — sort the keys first")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

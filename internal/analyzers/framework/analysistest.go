@@ -1,0 +1,125 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// TestingT is the subset of *testing.T the golden runner needs.
+type TestingT interface {
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+	Helper()
+}
+
+// wantRe extracts the quoted regexps of one `// want "..."` comment; both
+// double-quoted and backquoted forms are accepted, x/tools-style.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// RunGolden loads the single package in dir and checks the analyzer's
+// diagnostics against `// want "regexp"` comments, x/tools
+// analysistest-style: every diagnostic must be matched by a want expectation
+// on its line, and every expectation must be matched by a diagnostic.
+//
+// The testdata packages may import real module packages (cellmg/...); the
+// loader resolves those from source.
+func RunGolden(t TestingT, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("golden %s: %v", dir, err)
+	}
+	dir = abs
+	fset := token.NewFileSet()
+	imp, err := NewSourceImporter(fset, dir)
+	if err != nil {
+		t.Fatalf("golden %s: %v", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("golden %s: %v", dir, err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("golden %s: no Go files", dir)
+	}
+	sort.Strings(filenames)
+	pkg, err := LoadFiles(fset, imp, "testdata/"+filepath.Base(dir), filenames)
+	if err != nil {
+		t.Fatalf("golden %s: %v", dir, err)
+	}
+
+	findings, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("golden %s: %v", dir, err)
+	}
+
+	// Collect expectations: file:line -> regexps.
+	type expectation struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	expects := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("golden %s: bad want regexp %q: %v", dir, raw, err)
+					}
+					expects[key] = append(expects[key], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, e := range expects[key] {
+			if !e.matched && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", key, f.Message, f.Analyzer)
+		}
+	}
+	var keys []string
+	for k := range expects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, e := range expects[k] {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, e.raw)
+			}
+		}
+	}
+}

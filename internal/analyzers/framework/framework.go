@@ -1,0 +1,265 @@
+// Package framework is a self-contained miniature of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic,
+// suggested fixes — plus a module-aware source loader and an
+// analysistest-style golden-package runner, built entirely on the standard
+// library (go/ast, go/types, go/importer).
+//
+// Why not depend on x/tools directly? The build environment for this
+// repository is hermetic: the Go toolchain is available but the module cache
+// is empty and nothing may be fetched. The types here mirror the x/tools API
+// shapes closely enough that the analyzers in internal/analyzers could be
+// ported to real go/analysis passes by swapping imports, should the
+// dependency ever become available.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass: a name (used in diagnostics
+// and //cellmg:allow waivers), user-facing documentation, and a Run function
+// applied to one package at a time.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information into an Analyzer's
+// Run function, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+
+	waivers map[*ast.File]map[int][]string // line -> analyzer names waived
+}
+
+// Diagnostic is one finding, optionally carrying machine-applicable fixes.
+type Diagnostic struct {
+	Analyzer       string
+	Pos            token.Pos
+	End            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is a set of text edits that would resolve the diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// Report emits a diagnostic unless a //cellmg:allow waiver covers it.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.Analyzer.Name
+	}
+	if p.Waived(d.Analyzer, d.Pos) {
+		return
+	}
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, End: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportWithWaiverFix emits a diagnostic whose suggested fix inserts an
+// explicit //cellmg:allow waiver line above the offending statement — the
+// sanctioned way to acknowledge a finding that is intentional.
+func (p *Pass) ReportWithWaiverFix(pos, end token.Pos, format string, args ...interface{}) {
+	name := p.Analyzer.Name
+	file := p.FileFor(pos)
+	var fixes []SuggestedFix
+	if file != nil {
+		if at := lineStartPos(p.Fset, file, pos); at.IsValid() {
+			indent := indentAt(p.Fset, pos)
+			fixes = []SuggestedFix{{
+				Message: fmt.Sprintf("waive with an explicit //cellmg:allow %s comment", name),
+				TextEdits: []TextEdit{{
+					Pos:     at,
+					End:     at,
+					NewText: []byte(indent + "//cellmg:allow " + name + " -- TODO: justify\n"),
+				}},
+			}}
+		}
+	}
+	p.Report(Diagnostic{
+		Pos:            pos,
+		End:            end,
+		Message:        fmt.Sprintf(format, args...),
+		SuggestedFixes: fixes,
+	})
+}
+
+// FileFor returns the *ast.File of the pass containing pos.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Waived reports whether a //cellmg:allow comment for the named analyzer
+// covers pos: either on the same source line or on the line immediately
+// above it.
+//
+// The waiver grammar is
+//
+//	//cellmg:allow name1[,name2...] -- reason
+//
+// The reason after "--" is free text; listing several analyzers waives all
+// of them at that site.
+func (p *Pass) Waived(analyzer string, pos token.Pos) bool {
+	file := p.FileFor(pos)
+	if file == nil {
+		return false
+	}
+	if p.waivers == nil {
+		p.waivers = make(map[*ast.File]map[int][]string)
+	}
+	byLine, ok := p.waivers[file]
+	if !ok {
+		byLine = collectWaivers(p.Fset, file)
+		p.waivers[file] = byLine
+	}
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, name := range byLine[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectWaivers maps source lines to the analyzer names a //cellmg:allow
+// comment on that line waives.
+func collectWaivers(fset *token.FileSet, file *ast.File) map[int][]string {
+	out := make(map[int][]string)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "cellmg:allow") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "cellmg:allow"))
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = strings.TrimSpace(rest[:i])
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, name := range strings.Split(rest, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					out[line] = append(out[line], name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lineStartPos returns the Pos of the first character of pos's line.
+func lineStartPos(fset *token.FileSet, file *ast.File, pos token.Pos) token.Pos {
+	tf := fset.File(pos)
+	if tf == nil {
+		return token.NoPos
+	}
+	return tf.LineStart(fset.Position(pos).Line)
+}
+
+// indentAt returns the leading whitespace of pos's line, so inserted waiver
+// comments align with the statement they cover. Best-effort: it synthesizes
+// tabs from the column of pos.
+func indentAt(fset *token.FileSet, pos token.Pos) string {
+	col := fset.Position(pos).Column
+	if col <= 1 {
+		return ""
+	}
+	return strings.Repeat("\t", (col-1+7)/8)
+}
+
+// Finding is a position-resolved diagnostic, ready for printing or testing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	End      token.Position
+	Message  string
+	Fixes    []SuggestedFix
+	Fset     *token.FileSet
+}
+
+// String formats the finding in the conventional file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by file, line and column. Analyzer Run errors are returned
+// after all packages have been visited.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	var errs []string
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: d.Analyzer,
+					Pos:      pkg.Fset.Position(d.Pos),
+					End:      pkg.Fset.Position(d.End),
+					Message:  d.Message,
+					Fixes:    d.SuggestedFixes,
+					Fset:     pkg.Fset,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Sprintf("%s on %s: %v", a.Name, pkg.Path, err))
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if len(errs) > 0 {
+		return findings, fmt.Errorf("analyzer errors:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return findings, nil
+}

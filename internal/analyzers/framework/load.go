@@ -1,0 +1,254 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Dir   string
+	Path  string // import path (or a synthesized path for testdata packages)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadConfig controls package loading.
+type LoadConfig struct {
+	// Dir anchors pattern resolution; it must lie inside the module.
+	// Empty means the process working directory.
+	Dir string
+	// Tests includes in-package _test.go files. External test packages
+	// (package foo_test) are not loaded; run the analyzers through
+	// `go vet -vettool` to cover those compilations too.
+	Tests bool
+	// Fset, when non-nil, is shared across loads (positions stay comparable).
+	Fset *token.FileSet
+}
+
+// Load resolves the patterns ("./...", "./dir/...", "./dir") to package
+// directories under the module rooted at or above cfg.Dir, parses them with
+// comments, and type-checks them against the standard library and the module
+// itself using the stdlib source importer.
+//
+// The importer resolves module-internal import paths through the go command,
+// which keys off build.Default.Dir — Load points that at the module root, so
+// callers may run from any working directory.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The stdlib source importer resolves non-GOROOT imports via go/build,
+	// which only consults the module graph when its working directory lies
+	// inside the module.
+	build.Default.Dir = root
+
+	var dirs []string
+	seen := map[string]bool{}
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walkGoDirs(root, addDir)
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(dir, strings.TrimSuffix(pat, "/..."))
+			walkGoDirs(base, addDir)
+		default:
+			addDir(filepath.Join(dir, pat))
+		}
+	}
+	sort.Strings(dirs)
+
+	fset := cfg.Fset
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := loadDir(fset, imp, root, modPath, d, cfg.Tests)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadFiles parses and type-checks an explicit file list as one package —
+// the entry point the testdata runner and the vettool mode share.
+func LoadFiles(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return checkFiles(fset, imp, path, filepath.Dir(filenames[0]), files)
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Dir: dir, Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loadDir loads the single package in directory d (nil if d holds no
+// eligible Go files).
+func loadDir(fset *token.FileSet, imp types.Importer, root, modPath, d string, tests bool) (*Package, error) {
+	entries, err := os.ReadDir(d)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	rel, err := filepath.Rel(root, d)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(d, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		// Keep only the primary (non-external-test) package of the directory.
+		n := f.Name.Name
+		if strings.HasSuffix(name, "_test.go") && strings.HasSuffix(n, "_test") {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = n
+		}
+		if n != pkgName {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return checkFiles(fset, imp, path, d, files)
+}
+
+// walkGoDirs calls add for every directory under base that contains Go
+// files, skipping testdata, vendor, hidden and underscore directories.
+func walkGoDirs(base string, add func(string)) {
+	filepath.WalkDir(base, func(p string, e os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if e.IsDir() {
+			name := e.Name()
+			if p != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(e.Name(), ".go") {
+			add(filepath.Dir(p))
+		}
+		return nil
+	})
+	return
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return d, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// NewSourceImporter returns a stdlib source importer rooted at the module
+// containing dir, sharing fset. It mirrors what Load does internally, for
+// callers (tests) that drive LoadFiles directly.
+func NewSourceImporter(fset *token.FileSet, dir string) (types.Importer, error) {
+	root, _, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	build.Default.Dir = root
+	return importer.ForCompiler(fset, "source", nil), nil
+}

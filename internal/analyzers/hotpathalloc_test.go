@@ -1,0 +1,11 @@
+package analyzers
+
+import (
+	"testing"
+
+	"cellmg/internal/analyzers/framework"
+)
+
+func TestHotpathAllocGolden(t *testing.T) {
+	framework.RunGolden(t, "testdata/hotpath", HotpathAlloc)
+}

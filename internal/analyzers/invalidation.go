@@ -1,0 +1,100 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cellmg/internal/analyzers/framework"
+)
+
+// phyloPkgPath is the package whose Engine owns the dirty-tracking state.
+const phyloPkgPath = "cellmg/internal/phylo"
+
+// kernelMethods are the Engine entry points that read or write conditional
+// vectors WITHOUT consulting or updating the incremental dirty tracking
+// (incremental.go). Inside internal/phylo the traversal code manages the
+// bookkeeping itself; outside, calling them directly silently decouples the
+// engine's cached vectors from the tree.
+var kernelMethods = map[string]bool{
+	"Newview":      true,
+	"EvaluateRoot": true,
+	"MakenewzEdge": true,
+}
+
+// Invalidation enforces the dirty-tracking contract of PR 5: code outside
+// internal/phylo must reach the kernels through the invalidation-aware API
+// (LogLikelihood, Refresh, Optimize*, Search*, Invalidate*), never by
+// invoking a kernel method directly.
+var Invalidation = &framework.Analyzer{
+	Name: "invalidation",
+	Doc: `forbid direct kernel calls that bypass the dirty-tracking contract
+
+Engine.Newview, Engine.EvaluateRoot and Engine.MakenewzEdge recompute or read
+conditional likelihood vectors without updating the incremental dirty
+tracking. Outside cellmg/internal/phylo such calls silently desynchronize the
+engine from its tree: a later incremental evaluation can then return stale
+likelihoods. Callers must use LogLikelihood/Refresh/Optimize*/Search* (which
+maintain the tracking) or report their mutations via the Invalidate* API.
+
+Measurement code that times a kernel in isolation is the legitimate
+exception; it must carry //cellmg:allow invalidation -- reason and leave the
+engine in a consistent state (e.g. a trailing Refresh or InvalidateAll).`,
+	Run: runInvalidation,
+}
+
+func runInvalidation(pass *framework.Pass) error {
+	if pass.Pkg != nil && normalizePkgPath(pass.Pkg.Path()) == phyloPkgPath {
+		return nil // the engine's own traversal code manages the tracking
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || !kernelMethods[callee.Name()] {
+				return true
+			}
+			if funcPkgPath(callee) != phyloPkgPath || !isEngineMethod(callee) {
+				return true
+			}
+			pass.ReportWithWaiverFix(call.Pos(), call.End(),
+				"direct call to phylo kernel (*Engine).%s bypasses the dirty-tracking contract; use LogLikelihood/Refresh/Optimize* or the Invalidate* API", callee.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// normalizePkgPath strips the test-variant decorations go vet compilations
+// carry ("pkg [pkg.test]", "pkg_test"), so the phylo exemption also covers
+// phylo's own test files.
+func normalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// isEngineMethod reports whether f is a method on phylo.Engine (by value or
+// pointer receiver).
+func isEngineMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Engine" &&
+		named.Obj().Pkg() != nil &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/phylo")
+}

@@ -1,0 +1,11 @@
+package analyzers
+
+import (
+	"testing"
+
+	"cellmg/internal/analyzers/framework"
+)
+
+func TestInvalidationGolden(t *testing.T) {
+	framework.RunGolden(t, "testdata/invalidation", Invalidation)
+}

@@ -1,0 +1,278 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cellmg/internal/analyzers/framework"
+)
+
+// Parcapture vets the closures handed to TaskContext.ParallelFor: the body
+// runs concurrently on several pool workers, so it must only write state that
+// is disjoint per index (indexed writes) or synchronized (sync/atomic).
+var Parcapture = &framework.Analyzer{
+	Name: "parcapture",
+	Doc: `vet closures passed to TaskContext.ParallelFor for unsafe captures
+
+The body of a work-shared loop executes simultaneously on the master and its
+group workers. The analyzer flags, inside a function literal passed to
+(*native.TaskContext).ParallelFor:
+  - assignments or ++/-- to captured variables (declared outside the
+    literal) that are not element-indexed — concurrent non-indexed writes
+    race; use indexed slots (buf[i] = ...) or sync/atomic
+  - captures of an enclosing for/range statement's induction variable —
+    the body receives its index range as (lo, hi) arguments; reaching for an
+    outer induction variable instead is almost always a chunking bug
+
+Two synchronization idioms are recognized and pass: calls to sync/atomic
+(they are calls, not captured writes), and writes lexically between X.Lock()
+and X.Unlock() on a sync.Mutex/RWMutex in the same block. Sites that are
+provably serial (single-worker groups, zero-trip loops) take a
+//cellmg:allow parcapture waiver with the justification.`,
+	Run: runParcapture,
+}
+
+func runParcapture(pass *framework.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		var loops []ast.Stmt // enclosing for/range statements, innermost last
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			switch n := n.(type) {
+			case nil:
+				return
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n.(ast.Stmt))
+				for _, c := range children(n) {
+					walk(c)
+				}
+				loops = loops[:len(loops)-1]
+				return
+			case *ast.CallExpr:
+				if isParallelForCall(info, n) && len(n.Args) == 2 {
+					if lit, ok := n.Args[1].(*ast.FuncLit); ok {
+						checkParallelBody(pass, lit, loops)
+					}
+				}
+			}
+			for _, c := range children(n) {
+				walk(c)
+			}
+		}
+		walk(file)
+	}
+	return nil
+}
+
+// children returns the direct AST children of n, preserving order.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// isParallelForCall reports whether the call invokes
+// (*native.TaskContext).ParallelFor.
+func isParallelForCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Name() != "ParallelFor" {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "TaskContext" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "cellmg/internal/native"
+}
+
+// checkParallelBody inspects one work-shared loop body literal.
+func checkParallelBody(pass *framework.Pass, lit *ast.FuncLit, loops []ast.Stmt) {
+	info := pass.TypesInfo
+	inductionVars := map[*types.Var]bool{}
+	for _, loop := range loops {
+		collectInductionVars(info, loop, inductionVars)
+	}
+	reportedWrite := map[*types.Var]bool{}
+	reportedLoop := map[*types.Var]bool{}
+	guarded := mutexGuardedRanges(info, lit.Body)
+
+	captured := func(v *types.Var) bool {
+		return v != nil && !v.IsField() &&
+			!(lit.Pos() <= v.Pos() && v.Pos() < lit.End())
+	}
+	isGuarded := func(pos token.Pos) bool {
+		for _, r := range guarded {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[n].(*types.Var)
+			if captured(v) && inductionVars[v] && !reportedLoop[v] {
+				reportedLoop[v] = true
+				pass.ReportWithWaiverFix(n.Pos(), n.End(),
+					"ParallelFor body captures loop variable %s of an enclosing loop; the body's index range arrives as its (lo, hi) arguments", v.Name())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v := writtenCapturedBase(info, lhs); captured(v) && !reportedWrite[v] && !isGuarded(n.Pos()) {
+					reportedWrite[v] = true
+					pass.ReportWithWaiverFix(lhs.Pos(), lhs.End(),
+						"ParallelFor body writes captured variable %s without indexing or atomics; concurrent grains race on it", v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := writtenCapturedBase(info, n.X); captured(v) && !reportedWrite[v] && !isGuarded(n.Pos()) {
+				reportedWrite[v] = true
+				pass.ReportWithWaiverFix(n.Pos(), n.End(),
+					"ParallelFor body writes captured variable %s without indexing or atomics; concurrent grains race on it", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// mutexGuardedRanges returns the position ranges lexically between X.Lock()
+// and X.Unlock() calls on sync.Mutex/RWMutex values within one block — the
+// conventional critical-section shape. Writes inside such a range are
+// serialized and not reported.
+func mutexGuardedRanges(info *types.Info, body ast.Node) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		var open token.Pos
+		for _, st := range block.List {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			name, isMutex := mutexMethod(info, call)
+			if !isMutex {
+				continue
+			}
+			switch name {
+			case "Lock", "RLock":
+				open = st.End()
+			case "Unlock", "RUnlock":
+				if open.IsValid() {
+					ranges = append(ranges, [2]token.Pos{open, st.Pos()})
+					open = token.NoPos
+				}
+			}
+		}
+		return true
+	})
+	return ranges
+}
+
+// mutexMethod reports the method name of a call on a sync.Mutex or
+// sync.RWMutex receiver ("" when it is not one).
+func mutexMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	callee := calleeFunc(info, call)
+	if callee == nil || funcPkgPath(callee) != "sync" {
+		return "", false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return callee.Name(), true
+	}
+	return "", false
+}
+
+// writtenCapturedBase resolves the base variable of an assignment target,
+// returning nil when the write is element-indexed (disjoint slots are the
+// sanctioned pattern) or targets the blank identifier.
+func writtenCapturedBase(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if e.Name == "_" {
+				return nil
+			}
+			v, _ := info.Uses[e].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			return nil // buf[i] = ... — per-index slot
+		default:
+			return nil
+		}
+	}
+}
+
+// collectInductionVars records the induction variables of one loop statement:
+// range key/value idents and variables declared or updated by a ForStmt's
+// init/post clauses.
+func collectInductionVars(info *types.Info, loop ast.Stmt, out map[*types.Var]bool) {
+	addIdent := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			out[v] = true
+		} else if v, ok := info.Uses[id].(*types.Var); ok {
+			out[v] = true
+		}
+	}
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		addIdent(l.Key)
+		addIdent(l.Value)
+	case *ast.ForStmt:
+		for _, st := range []ast.Stmt{l.Init, l.Post} {
+			switch s := st.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					addIdent(lhs)
+				}
+			case *ast.IncDecStmt:
+				addIdent(s.X)
+			}
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package analyzers
+
+import (
+	"testing"
+
+	"cellmg/internal/analyzers/framework"
+)
+
+func TestParcaptureGolden(t *testing.T) {
+	framework.RunGolden(t, "testdata/parcapture", Parcapture)
+}

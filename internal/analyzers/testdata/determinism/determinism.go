@@ -1,0 +1,64 @@
+// Package determinism is the determinism golden package: the file is
+// annotated, so global rand, wall-clock reads and map ranges are findings,
+// while seeded generators and waived sites are not.
+//
+//cellmg:deterministic
+package determinism
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+func globalRand() float64 {
+	_ = rand.Intn(3)      // want `calls global rand.Intn`
+	_ = randv2.Uint64()   // want `calls global rand.Uint64`
+	return rand.Float64() // want `calls global rand.Float64`
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	r2 := randv2.New(randv2.NewPCG(uint64(seed), 1))
+	return r.Float64() + r2.Float64()
+}
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `reads the wall clock via time.Now`
+	return time.Since(t0) // want `reads the wall clock via time.Since`
+}
+
+func explicitClock(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0) // method on an explicit instant: fine
+}
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `iterates a map`
+		sum += v
+	}
+	return sum
+}
+
+func mapOrderWaived(m map[string]int) int {
+	sum := 0
+	//cellmg:allow determinism -- golden-test waiver: addition is commutative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sortedOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//cellmg:allow determinism -- golden-test waiver: keys are sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice range: fine
+		_ = m[k]
+	}
+	return keys
+}

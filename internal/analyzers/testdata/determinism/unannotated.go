@@ -1,0 +1,16 @@
+// This file carries no //cellmg:deterministic annotation, so nothing in it
+// is checked.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func unchecked(m map[string]int) float64 {
+	_ = time.Now()
+	for range m {
+		break
+	}
+	return rand.Float64()
+}

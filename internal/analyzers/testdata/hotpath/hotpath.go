@@ -1,0 +1,86 @@
+// Package hotpath is the hotpathalloc golden package: annotated functions
+// with one violation per construct the analyzer must flag, plus clean
+// counterparts that must stay silent.
+package hotpath
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// plain is an ordinary function: calling it from hotpath code is a finding.
+func plain() {}
+
+// helper is checked itself and callable from other hotpath functions.
+//
+//cellmg:hotpath
+func helper(x float64) float64 { return x * 2 }
+
+// cacheLookup allocates on a miss by contract; callable but not checked.
+//
+//cellmg:hotpath-safe -- steady state is allocation-free by contract
+func cacheLookup(n int) []float64 { return make([]float64, n) }
+
+// allocating demonstrates every allocation construct.
+//
+//cellmg:hotpath
+func allocating(dst []float64, n int) {
+	_ = make([]float64, n) // want `calls make, which allocates`
+	_ = new(int)           // want `calls new, which allocates`
+	_ = append(dst, 1)     // want `calls append`
+	_ = []float64{1, 2}    // want `allocates a composite literal`
+	f := func() {}         // want `contains a function literal`
+	_ = f
+	go plain()    // want `spawns a goroutine` `calls plain`
+	defer plain() // want `uses defer` `calls plain`
+}
+
+// boxing demonstrates interface-conversion detection.
+//
+//cellmg:hotpath
+func boxing(n int) {
+	var sink interface{}
+	sink = n // want `boxes a int into interface`
+	_ = sink
+	_ = any(n)        // want `boxes a int into interface`
+	_ = fmt.Sprint(n) // want `calls fmt.Sprint, outside the hotpath package whitelist` `boxes a int argument into interface`
+}
+
+// calls demonstrates the callee discipline.
+//
+//cellmg:hotpath
+func calls(x float64, c *atomic.Int64) float64 {
+	plain() // want `calls plain, which is neither //cellmg:hotpath nor //cellmg:hotpath-safe`
+	c.Add(1)
+	_ = cacheLookup(4)
+	return helper(math.Sqrt(x))
+}
+
+// waived shows an explicit waiver silencing a finding.
+//
+//cellmg:hotpath
+func waived(n int) []float64 {
+	//cellmg:allow hotpathalloc -- golden-test waiver: cold-path allocation is intended here
+	return make([]float64, n)
+}
+
+// clean is a representative kernel shape: index math, hoisted slices,
+// whitelisted math calls, atomic ops — no findings.
+//
+//cellmg:hotpath
+func clean(dst, src []float64, lo, hi int) float64 {
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		v := src[i : i+1 : i+1]
+		dst[i] = math.Log(v[0] + 1)
+		sum += dst[i]
+	}
+	return helper(sum)
+}
+
+// notAnnotated may allocate freely without findings.
+func notAnnotated(n int) []float64 {
+	buf := make([]float64, n)
+	return append(buf, 1)
+}

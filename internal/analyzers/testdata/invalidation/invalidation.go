@@ -1,0 +1,37 @@
+// Package invalidation is the invalidation golden package: it sits outside
+// cellmg/internal/phylo, so direct kernel calls on an Engine are findings
+// unless waived, while the invalidation-aware API is always fine.
+package invalidation
+
+import "cellmg/internal/phylo"
+
+func direct(eng *phylo.Engine, t *phylo.Tree, v *phylo.Node) float64 {
+	eng.Newview(v)             // want `direct call to phylo kernel \(\*Engine\)\.Newview`
+	_ = eng.MakenewzEdge(v)    // want `direct call to phylo kernel \(\*Engine\)\.MakenewzEdge`
+	return eng.EvaluateRoot(t) // want `direct call to phylo kernel \(\*Engine\)\.EvaluateRoot`
+}
+
+func sanctioned(eng *phylo.Engine, t *phylo.Tree) float64 {
+	eng.Refresh(t)
+	eng.InvalidateAll()
+	return eng.LogLikelihood(t)
+}
+
+func waived(eng *phylo.Engine, t *phylo.Tree) float64 {
+	//cellmg:allow invalidation -- golden-test waiver: isolated timing; Refresh restores consistency below
+	ll := eng.EvaluateRoot(t)
+	eng.Refresh(t)
+	return ll
+}
+
+// sameName has methods that shadow the kernel names on a non-Engine type;
+// calling them is fine.
+type sameName struct{}
+
+func (sameName) Newview(*phylo.Node)          {}
+func (sameName) EvaluateRoot(*phylo.Tree) int { return 0 }
+
+func notEngine(s sameName, t *phylo.Tree, v *phylo.Node) int {
+	s.Newview(v)
+	return s.EvaluateRoot(t)
+}

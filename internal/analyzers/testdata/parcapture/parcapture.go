@@ -1,0 +1,85 @@
+// Package parcapture is the parcapture golden package: closures handed to
+// TaskContext.ParallelFor run concurrently, so non-indexed captured writes
+// and enclosing-loop induction variables are findings; indexed slots,
+// atomics and mutex-guarded sections are not.
+package parcapture
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cellmg/internal/native"
+)
+
+func capturedWrite(tc *native.TaskContext, src []float64) float64 {
+	sum := 0.0
+	tc.ParallelFor(len(src), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += src[i] // want `writes captured variable sum`
+		}
+	})
+	return sum
+}
+
+func capturedIncDec(tc *native.TaskContext, n int) int {
+	count := 0
+	tc.ParallelFor(n, func(lo, hi int) {
+		count++ // want `writes captured variable count`
+	})
+	return count
+}
+
+func indexedWrite(tc *native.TaskContext, dst, src []float64) {
+	tc.ParallelFor(len(src), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = 2 * src[i] // per-index slot: fine
+		}
+	})
+}
+
+func atomicAccumulate(tc *native.TaskContext, src []int64) int64 {
+	var sum atomic.Int64
+	tc.ParallelFor(len(src), func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += src[i]
+		}
+		sum.Add(local)
+	})
+	return sum.Load()
+}
+
+func mutexAccumulate(tc *native.TaskContext, src []float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	tc.ParallelFor(len(src), func(lo, hi int) {
+		local := 0.0
+		for i := lo; i < hi; i++ {
+			local += src[i]
+		}
+		mu.Lock()
+		sum += local // lexically inside the critical section: fine
+		mu.Unlock()
+	})
+	return sum
+}
+
+func inductionCapture(tc *native.TaskContext, grid [][]float64) {
+	for r := range grid {
+		row := grid[r]
+		tc.ParallelFor(len(row), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row[i] += float64(r) // want `captures loop variable r`
+			}
+		})
+	}
+}
+
+func waived(tc *native.TaskContext, n int) int {
+	calls := 0
+	tc.ParallelFor(n, func(lo, hi int) {
+		//cellmg:allow parcapture -- golden-test waiver: serial by construction
+		calls++
+	})
+	return calls
+}

@@ -299,6 +299,8 @@ func (tc *TaskContext) initLoopRunners() {
 // runShared claims grains of the current loop from the shared index until
 // none remain. It runs on every group slot, the master included (which joins
 // after finishing its inline share).
+//
+//cellmg:hotpath
 func (tc *TaskContext) runShared() {
 	n, g := tc.loopN, tc.loopGrain
 	for {
@@ -451,6 +453,8 @@ func (s *Submitter) OffloadContext(ctx context.Context, fn func(tc *TaskContext)
 //
 // It has the signature of phylo.ParallelFor, so it can be plugged directly
 // into a likelihood engine.
+//
+//cellmg:hotpath
 func (tc *TaskContext) ParallelFor(n int, body func(lo, hi int)) {
 	r := tc.rt
 	if n <= 0 {

@@ -1,3 +1,4 @@
+//cellmg:deterministic
 package phylo
 
 // This file implements incremental likelihood evaluation: dirty-node tracking

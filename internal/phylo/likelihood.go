@@ -1,3 +1,4 @@
+//cellmg:deterministic
 package phylo
 
 import (
@@ -197,6 +198,8 @@ func (e *Engine) ensureBuffers(t *Tree) {
 
 // childVector returns the conditional likelihood vector and scaler slice of a
 // node viewed as a child (tips read the precomputed tip vectors).
+//
+//cellmg:hotpath
 func (e *Engine) childVector(n *Node) ([]float64, []float64) {
 	if n.IsTip() {
 		return e.tip[n.Taxon], nil
@@ -217,6 +220,8 @@ type newviewArgs struct {
 // child contributions through the flattened transition matrices. The 4-state
 // inner products are fully unrolled; slices are hoisted per category so the
 // innermost statements are bounds-check-free.
+//
+//cellmg:hotpath
 func (e *Engine) newviewBody(lo, hi int) {
 	a := &e.nvA
 	lv, rv := a.lv, a.rv
@@ -267,6 +272,8 @@ func (e *Engine) newviewBody(lo, hi int) {
 // Newview computes the conditional likelihood vector of an internal node from
 // its two children — the paper's newview() kernel. The children's vectors
 // must already be up to date.
+//
+//cellmg:hotpath
 func (e *Engine) Newview(n *Node) {
 	if n.IsTip() {
 		return
@@ -307,6 +314,9 @@ type computeOutArgs struct {
 	freqs      Frequencies
 }
 
+// computeOutBody is the per-pattern loop of the outer-vector kernel.
+//
+//cellmg:hotpath
 func (e *Engine) computeOutBody(lo, hi int) {
 	a := &e.outA
 	sv, psib := a.sv, a.psib
@@ -377,6 +387,8 @@ func (e *Engine) computeOutBody(lo, hi int) {
 }
 
 // computeOutNode refreshes the outer vectors of u's children.
+//
+//cellmg:hotpath
 func (e *Engine) computeOutNode(u *Node) {
 	a := &e.outA
 	// The parent matrices depend only on u, not on the child: fill slot 1
@@ -407,6 +419,8 @@ func (e *Engine) computeOutNode(u *Node) {
 // computeDown must have run first. Branch optimization does not call this:
 // it repairs only the root-to-edge path it needs through ensureOut
 // (incremental.go).
+//
+//cellmg:hotpath
 func (e *Engine) computeOut(t *Tree) {
 	e.outA.freqs = e.Model.Frequencies()
 	PreOrder(t.Root, e.outVisit)
@@ -433,6 +447,9 @@ type evaluateArgs struct {
 	catWeight float64
 }
 
+// evaluateBody is the per-pattern loop of the evaluate() kernel.
+//
+//cellmg:hotpath
 func (e *Engine) evaluateBody(lo, hi int) {
 	a := &e.evalA
 	rootVec, rootScale := a.rootVec, a.rootScale
@@ -457,6 +474,8 @@ func (e *Engine) evaluateBody(lo, hi int) {
 
 // Evaluate computes the log-likelihood of the tree at the root — the paper's
 // evaluate() kernel. computeDown must have run first.
+//
+//cellmg:hotpath
 func (e *Engine) evaluateAtRoot(t *Tree) float64 {
 	e.Stats.EvaluateCalls++
 	root := t.Root
@@ -501,6 +520,8 @@ func (e *Engine) LogLikelihood(t *Tree) float64 {
 // edgeDerivatives returns the log-likelihood and its first and second
 // derivatives with respect to the length of the edge above node v, using the
 // current down/out vectors.
+//
+//cellmg:hotpath
 func (e *Engine) edgeDerivatives(v *Node, b float64) (ll, d1, d2 float64) {
 	dv, dscale := e.childVector(v)
 	ov := e.out[v.ID]
@@ -557,6 +578,8 @@ func (e *Engine) edgeDerivatives(v *Node, b float64) (ll, d1, d2 float64) {
 // iterations — the paper's makenewz() kernel. It requires up-to-date down and
 // out vectors (OptimizeAllBranches and OptimizeBranch arrange that) and
 // returns the optimized length.
+//
+//cellmg:hotpath
 func (e *Engine) makenewz(v *Node) float64 {
 	e.Stats.MakenewzCalls++
 	b := v.Length

@@ -1,3 +1,4 @@
+//cellmg:deterministic
 package phylo
 
 // Seed derivation for multi-replicate analyses.

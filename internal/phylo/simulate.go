@@ -1,3 +1,4 @@
+//cellmg:deterministic
 package phylo
 
 import (

@@ -1,3 +1,4 @@
+//cellmg:deterministic
 package phylo
 
 // This file implements the Engine's transition-matrix cache: the flattened
@@ -106,6 +107,8 @@ func (e *Engine) fillTransition(dst []float64, b float64) {
 // matrices are recomputed into the engine-owned scratch buffer for the given
 // slot (two slots exist so Newview can hold its left and right matrices at
 // the same time).
+//
+//cellmg:hotpath-safe -- allocates only on a cold cache miss; steady state guarded by alloc_test.go
 func (e *Engine) transitionFlat(b float64, slot int) []float64 {
 	if e.cacheOn {
 		if p, ok := e.probs[b]; ok {
@@ -145,6 +148,8 @@ func (e *Engine) fillTransitionDeriv(d *derivTriple, b float64) {
 // transitionDerivFlat is the derivative-set analogue of transitionFlat; the
 // Newton iterations of Makenewz revisit the same branch lengths, so in steady
 // state every lookup hits.
+//
+//cellmg:hotpath-safe -- allocates only on a cold cache miss; steady state guarded by alloc_test.go
 func (e *Engine) transitionDerivFlat(b float64) *derivTriple {
 	if e.cacheOn {
 		if d, ok := e.derivs[b]; ok {

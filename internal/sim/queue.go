@@ -1,3 +1,4 @@
+//cellmg:deterministic
 package sim
 
 // Queue is an unbounded FIFO queue of items of type T with blocking Get

@@ -1,3 +1,4 @@
+//cellmg:deterministic
 package sim
 
 // Signal is a one-shot broadcast event: processes block in Wait until Fire is
