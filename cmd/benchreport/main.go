@@ -5,7 +5,7 @@
 // uploads the file as an artifact; the repository commits the snapshot for
 // the current PR (BENCH_PR<N>.json).
 //
-//	go run ./cmd/benchreport -tag PR6            # writes BENCH_PR6.json
+//	go run ./cmd/benchreport -tag PR7            # writes BENCH_PR7.json
 //	go run ./cmd/benchreport -out some/path.json # explicit destination
 //
 // The benchmarks — fixtures and timed loop bodies alike — come from
@@ -13,8 +13,10 @@
 // registers with `go test -bench`, so this record can never silently
 // measure different semantics than the test suite: the three paper kernels
 // (Newview, Evaluate, Makenewz) on the 42-taxon/1167-site 42_SC-shaped
-// input, the incremental dirty-path evaluation, and the 50-taxon NNI search
-// in both the incremental and the full-refresh (baseline) modes.
+// input, the incremental dirty-path evaluation, the 50-taxon NNI search
+// in both the incremental and the full-refresh (baseline) modes, and the
+// flight-recorder overhead pairs (the same work-shared workloads with the
+// recorder on vs off).
 package main
 
 import (
@@ -73,7 +75,7 @@ func fatalIf(err error) {
 }
 
 func main() {
-	tag := flag.String("tag", "PR6", "report tag; defaults -out to BENCH_<tag>.json")
+	tag := flag.String("tag", "PR7", "report tag; defaults -out to BENCH_<tag>.json")
 	out := flag.String("out", "", "output file (- for stdout); overrides -tag")
 	flag.Parse()
 	if *out == "" {
@@ -95,6 +97,13 @@ func main() {
 		{"Makenewz", benchfix.Makenewz(phylo.NewJC69(), phylo.SingleRate())},
 		{"SearchNNI/incremental", benchfix.SearchNNI(false)},
 		{"SearchNNI/fullrefresh", benchfix.SearchNNI(true)},
+		// Recorder-overhead pairs (PR 7): the same workload on a native
+		// runtime with the flight recorder on vs off; traced must stay
+		// within a few percent of off.
+		{"EvaluateFlight/traced", benchfix.EvaluateFullSweepFlight(true)},
+		{"EvaluateFlight/off", benchfix.EvaluateFullSweepFlight(false)},
+		{"SearchNNIFlight/traced", benchfix.SearchNNIFlight(true)},
+		{"SearchNNIFlight/off", benchfix.SearchNNIFlight(false)},
 	} {
 		rep.Results = append(rep.Results, measure(bm.name, bm.fn))
 	}

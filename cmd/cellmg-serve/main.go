@@ -16,7 +16,14 @@
 //	curl -s localhost:8080/v1/jobs/j-000001            # poll status/result
 //	curl -N localhost:8080/v1/jobs/j-000001/events     # stream progress (SSE)
 //	curl -s localhost:8080/v1/metrics                  # per-tenant accounting
+//	curl -s localhost:8080/metrics                     # Prometheus text format
 //	curl -s -X DELETE localhost:8080/v1/jobs/j-000001  # cancel
+//
+// With -flight the shared runtime records a flight trace; download it as
+// Chrome trace-event JSON (loadable in https://ui.perfetto.dev) with:
+//
+//	curl -s localhost:8080/v1/trace -o trace.json              # all tenants
+//	curl -s localhost:8080/v1/jobs/j-000001/trace -o job.json  # one job's slice
 //
 // With -pprof 127.0.0.1:6060 the process also serves net/http/pprof on that
 // address (separate from the job API), so serving-layer hot-path regressions
@@ -48,6 +55,8 @@ func main() {
 		queueCap      = flag.Int("queue", 64, "bounded job-queue capacity")
 		maxConcurrent = flag.Int("max-concurrent", 4, "jobs admitted to the runtime at once")
 		maxTasks      = flag.Int("max-tasks", 256, "per-job cap on inferences+bootstraps")
+		flightOn      = flag.Bool("flight", false, "enable the flight recorder (GET /v1/trace, /v1/jobs/{id}/trace)")
+		flightEvents  = flag.Int("flight-events", 0, "flight recorder ring capacity per lane (0 = default 4096)")
 		pprofAddr     = flag.String("pprof", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	flag.Parse()
@@ -78,13 +87,18 @@ func main() {
 	}
 
 	srv := server.New(server.Options{
-		Workers:        *workers,
-		Policy:         pol,
-		SPEsPerLoop:    *loopWidth,
-		QueueCapacity:  *queueCap,
-		MaxConcurrent:  *maxConcurrent,
-		MaxTasksPerJob: *maxTasks,
+		Workers:          *workers,
+		Policy:           pol,
+		SPEsPerLoop:      *loopWidth,
+		QueueCapacity:    *queueCap,
+		MaxConcurrent:    *maxConcurrent,
+		MaxTasksPerJob:   *maxTasks,
+		Flight:           *flightOn,
+		FlightLaneEvents: *flightEvents,
 	})
+	if *flightOn {
+		log.Printf("cellmg-serve: flight recorder on; traces at /v1/trace and /v1/jobs/{id}/trace")
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	go func() {

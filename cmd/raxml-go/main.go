@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"cellmg/internal/flight"
 	"cellmg/internal/native"
 	"cellmg/internal/phylo"
 )
@@ -35,6 +36,7 @@ func main() {
 		loopWidth  = flag.Int("spes-per-loop", 4, "workers per loop for the llp policy")
 		gamma      = flag.Float64("gamma", 0, "discrete-Gamma shape (0 disables rate heterogeneity)")
 		seed       = flag.Int64("seed", 42, "random seed")
+		traceOut   = flag.String("trace", "", "write a Chrome trace of the run to this file (load in ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -60,7 +62,11 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown policy %q", *policyName))
 	}
-	rt := native.New(native.Options{Workers: *workers, Policy: pol, SPEsPerLoop: *loopWidth})
+	var rec *flight.Recorder
+	if *traceOut != "" {
+		rec = flight.New(flight.Config{Workers: *workers})
+	}
+	rt := native.New(native.Options{Workers: *workers, Policy: pol, SPEsPerLoop: *loopWidth, Flight: rec})
 	defer rt.Close()
 
 	rates := phylo.SingleRate()
@@ -113,6 +119,26 @@ func main() {
 		busy += b
 	}
 	fmt.Printf("aggregate worker busy time: %v across %d workers\n", busy.Round(time.Millisecond), rt.Workers())
+
+	if rec != nil {
+		snap := rec.Snapshot()
+		if err := writeTrace(*traceOut, snap); err != nil {
+			fail(err)
+		}
+		fmt.Printf("flight trace: %s (%s)\n", *traceOut, snap.Summary())
+	}
+}
+
+func writeTrace(path string, snap flight.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadOrSimulate(path string, taxa, length int, seed int64) (*phylo.Alignment, error) {

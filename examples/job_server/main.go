@@ -4,7 +4,9 @@
 // two tenants submitting jobs over real HTTP: alice streams her job's
 // progress events (SSE) while bob polls his status, one job is cancelled
 // mid-run, and the per-tenant metrics are printed at the end — the same
-// union-of-tenants view the MGPS policy adapts to.
+// union-of-tenants view the MGPS policy adapts to. The server runs with the
+// flight recorder on, so the walkthrough finishes by downloading alice's
+// Perfetto trace and summarizing its spans.
 //
 //	go run ./examples/job_server
 package main
@@ -14,6 +16,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -25,7 +28,7 @@ import (
 )
 
 func main() {
-	srv := server.New(server.Options{Workers: 8, Policy: native.MGPS, MaxConcurrent: 3})
+	srv := server.New(server.Options{Workers: 8, Policy: native.MGPS, MaxConcurrent: 3, Flight: true})
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -101,6 +104,62 @@ func main() {
 			tenant, tm.Completed, tm.Cancelled, tm.Offloads.Offloads,
 			tm.Offloads.WorkShared, tm.Offloads.RunTotal.Round(time.Millisecond))
 	}
+
+	// Download alice's slice of the shared flight trace — the same JSON a
+	// browser pointed at ui.perfetto.dev can load — and summarize its spans.
+	traceFile := "alice-trace.json"
+	if len(os.Args) > 1 {
+		traceFile = os.Args[1]
+	}
+	fmt.Printf("\n%s\n", downloadTrace(base, alice, traceFile))
+}
+
+// downloadTrace fetches one job's Perfetto trace, writes it to path, and
+// returns a one-line summary of the spans it contains.
+func downloadTrace(base, id, path string) string {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("trace download: HTTP %d", resp.StatusCode))
+	}
+	var buf bytes.Buffer
+	var trace struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Dur  float64 `json:"dur"` // microseconds
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(io.TeeReader(resp.Body, &buf)).Decode(&trace); err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		fail(err)
+	}
+	spans := map[string]int{}
+	span, instants := 0, 0
+	var busyMS float64
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans[ev.Name]++
+			span++
+			busyMS += ev.Dur / 1e3
+		case "i":
+			instants++
+		}
+	}
+	parts := make([]string, 0, len(spans))
+	for _, name := range []string{"queue", "kernel", "parfor", "job-queued", "job-run"} {
+		if n := spans[name]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, name))
+		}
+	}
+	return fmt.Sprintf("trace %s: %d spans (%s), %d instants, %.1fms total span time — load it in ui.perfetto.dev",
+		path, span, strings.Join(parts, ", "), instants, busyMS)
 }
 
 func submit(base string, spec map[string]any) string {

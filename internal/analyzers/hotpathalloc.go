@@ -8,14 +8,18 @@ import (
 )
 
 // hotpathCalleeWhitelist lists packages whose functions are callable from
-// //cellmg:hotpath code: pure math and the synchronization primitives the
-// work-sharing runner needs. None of them allocate on the paths the kernels
-// use.
+// //cellmg:hotpath code: pure math, the synchronization primitives the
+// work-sharing runner needs, and the flight recorder's record path. None of
+// them allocate on the paths the kernels use; //cellmg:hotpath-safe
+// annotations in another package are invisible to a per-package analysis
+// pass, so flight's contract (nil-check no-op, 0 allocs/op, guarded by its
+// own AllocsPerRun tests) is admitted here by package path.
 var hotpathCalleeWhitelist = map[string]bool{
-	"math":        true,
-	"math/bits":   true,
-	"sync":        true,
-	"sync/atomic": true,
+	"math":                   true,
+	"math/bits":              true,
+	"sync":                   true,
+	"sync/atomic":            true,
+	"cellmg/internal/flight": true,
 }
 
 // HotpathAlloc enforces the 0 allocs/op contract of the likelihood kernels

@@ -1,0 +1,152 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot is a hand-authored snapshot covering every event kind, so
+// the golden file pins the exporter's field ordering and payload decoding
+// byte for byte.
+func goldenSnapshot() Snapshot {
+	logL := int64(math.Float64bits(-2140.25))
+	return Snapshot{
+		Lanes: []string{"worker 0", "worker 1", "policy", "jobs", "submit 0", "submit 1"},
+		Labels: []LabelPair{
+			{ID: 1, Label: `j-000001/alice "prod"`},
+		},
+		Dropped: 3,
+		Events: []Event{
+			{Start: 1000, Dur: 500, ID: 1, A: 2, B: 1, Kind: KindQueue, Lane: 4},
+			{Start: 1500, Dur: 250000, ID: 1, A: 2, B: 2, Kind: KindKernel, Lane: 0},
+			{Start: 2000, Dur: 90000, ID: 1, A: 228, B: 2<<32 | 16, Kind: KindLoop, Lane: 0},
+			{Start: 150000, ID: 1, A: 5<<32 | 94, B: logL, Kind: KindSweep, Lane: 0},
+			{Start: 200000, A: 2, B: 4, Kind: KindEval, Lane: 2},
+			{Start: 200001, A: 4, B: 1, Kind: KindSwitch, Lane: 2},
+			{Start: 500, Dur: 400, ID: 1, A: 1, Kind: KindJobQueued, Lane: 3},
+			{Start: 900, Dur: 400000, ID: 1, A: 3, B: 0, Kind: KindJobRun, Lane: 3},
+			{Start: 300000, ID: 2, A: 7, B: 8, Kind: KindMark, Lane: 1},
+		},
+	}
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with go test ./internal/flight -run TestWriteChromeGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exporter output drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeSchema checks the output is valid JSON with the fields the
+// trace-event format requires on every event.
+func TestWriteChromeSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event %d has no ph: %v", i, ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Errorf("event %d (%s) missing pid", i, ph)
+		}
+		switch ph {
+		case "M":
+			if _, ok := ev["name"]; !ok {
+				t.Errorf("metadata event %d missing name", i)
+			}
+		case "X":
+			for _, k := range []string{"tid", "ts", "dur", "name", "args"} {
+				if _, ok := ev[k]; !ok {
+					t.Errorf("span event %d missing %q", i, k)
+				}
+			}
+		case "i":
+			for _, k := range []string{"tid", "ts", "s", "name", "args"} {
+				if _, ok := ev[k]; !ok {
+					t.Errorf("instant event %d missing %q", i, k)
+				}
+			}
+		case "C":
+			for _, k := range []string{"tid", "ts", "name", "args"} {
+				if _, ok := ev[k]; !ok {
+					t.Errorf("counter event %d missing %q", i, k)
+				}
+			}
+		default:
+			t.Errorf("event %d has unexpected ph %q", i, ph)
+		}
+	}
+}
+
+// TestWriteChromeDeterministic: same snapshot, same bytes.
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	snap := goldenSnapshot()
+	if err := snap.WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same snapshot differ")
+	}
+}
+
+// TestWriteChromeLiveRecorder runs the exporter over a real recorder's
+// snapshot (timestamps and all) and checks it stays schema-valid.
+func TestWriteChromeLiveRecorder(t *testing.T) {
+	r := New(Config{Workers: 2, LaneEvents: 32})
+	r.Label(9, "live/flow")
+	start := r.Now()
+	r.Span(r.SubmitLane(0), KindQueue, 9, start, 1, 1)
+	r.Span(r.WorkerLane(0), KindKernel, 9, start, 1, 2)
+	r.Instant(r.PolicyLane(), KindSwitch, 0, 2, 1)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("live export not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+}

@@ -1,0 +1,60 @@
+// Package flight is the runtime flight recorder: a lock-light, preallocated
+// per-lane ring buffer that captures real-time spans and instants across the
+// whole stack — off-load lifecycle (queue wait, kernel run) in the native
+// runtime, work-shared ParallelFor loops, MGPS policy evaluations and degree
+// switches, phylo search progress (NNI sweeps with their log-likelihood
+// trajectory), and server job lifecycle. It is the measurement substrate the
+// source paper's per-component timing breakdowns were built on, attached to
+// the live system instead of the simulator.
+//
+// # Recording model
+//
+// A Recorder owns a fixed set of lanes, laid out for the native runtime: one
+// lane per pool worker, one for the scheduling policy, one for server jobs,
+// and a sharded set for submitter-side waiting. Each lane is a preallocated
+// power-of-two ring of fixed-size Events guarded by its own mutex; writers on
+// different lanes never contend, writers on the same lane are almost always
+// the same goroutine (a worker records onto its own lane). When the ring
+// wraps, the oldest events are overwritten and counted as dropped — recording
+// never blocks on a reader and never allocates.
+//
+// The record path (Now, Span, Instant) is nil-safe and annotated
+// //cellmg:hotpath-safe: a disabled recorder is a nil *Recorder, and every
+// record call compiles down to a nil check. With the recorder enabled the
+// path is 0 allocs/op (guarded by testing.AllocsPerRun in flight_test.go) and
+// adds <2% to the tier-1 EvaluateFullSweep/SearchNNI benchmarks (see
+// BenchmarkEvaluateFlight / BenchmarkSearchNNIFlight and the
+// "EvaluateFullSweep/flight", "SearchNNI/flight" rows of BENCH_PR7.json).
+//
+// # Clock discipline
+//
+// Timestamps are nanoseconds since the recorder's construction, read from the
+// monotonic clock via time.Since. The repo's determinism contract
+// (//cellmg:deterministic, enforced by cellmg-lint) forbids wall-clock reads
+// in result-producing code; the flight recorder is the sanctioned exception.
+// flight.go is itself annotated //cellmg:deterministic so that no OTHER
+// nondeterministic input can creep into the record path, and its two clock
+// reads (the epoch anchor in New and the monotonic read in now) carry
+// explicit waivers:
+//
+//	//cellmg:allow determinism -- flight recorder clock authority: ...
+//
+// Callers in deterministic files (phylo, native's analysis driver) stay
+// lint-clean because they never read the clock themselves — they hand the
+// recorder pre-packed integers and the recorder stamps the time. Timestamps
+// flow only into traces and metrics, never into analysis results. The
+// hotpathalloc analyzer whitelists this package for the same reason: the
+// //cellmg:hotpath ParallelFor calls Span directly, and the record path's
+// allocation-freedom is guarded by its own AllocsPerRun tests.
+//
+// # Surfaces
+//
+// Snapshot drains a consistent copy of every lane; Snapshot.WriteChrome
+// exports Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing, with one named track per lane, counter tracks for the
+// MGPS degree and per-flow log-likelihood, and instants for policy switches.
+// Registry is a small Prometheus text-format registry (counters, gauges,
+// fixed-bucket histograms backed by stats.Histogram) the job server exposes
+// at GET /metrics; the same histogram instances feed the JSON percentiles in
+// /v1/metrics, so the two surfaces can never disagree.
+package flight

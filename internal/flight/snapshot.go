@@ -1,0 +1,112 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LabelPair names one flow (analysis run or server job) in a Snapshot. The
+// slice form keeps snapshots free of map iteration so the exporters can stay
+// byte-deterministic for a given event set.
+type LabelPair struct {
+	ID    uint64
+	Label string
+}
+
+// Snapshot is a consistent copy of the recorder's state: every retained
+// event sorted by start time, the lane names, the flow labels, and how many
+// events were overwritten by ring wraparound.
+type Snapshot struct {
+	Events  []Event
+	Lanes   []string
+	Labels  []LabelPair
+	Dropped uint64
+}
+
+// Snapshot drains a copy of every lane. Recording continues concurrently;
+// each lane is internally consistent and the result is globally ordered by
+// timestamp. A nil recorder yields an empty snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{Lanes: append([]string(nil), r.names...)}
+	size := r.mask + 1
+	for i := range r.lanes {
+		l := &r.lanes[i]
+		l.mu.Lock()
+		pos := l.pos
+		if pos > size {
+			snap.Dropped += pos - size
+			// Oldest retained event first: the ring wrapped, so the slot at
+			// pos&mask is the oldest.
+			start := pos & r.mask
+			snap.Events = append(snap.Events, l.buf[start:]...)
+			snap.Events = append(snap.Events, l.buf[:start]...)
+		} else {
+			snap.Events = append(snap.Events, l.buf[:pos]...)
+		}
+		l.mu.Unlock()
+	}
+	r.labelMu.Lock()
+	for id, label := range r.labels {
+		snap.Labels = append(snap.Labels, LabelPair{ID: id, Label: label})
+	}
+	r.labelMu.Unlock()
+	sort.Slice(snap.Labels, func(i, j int) bool { return snap.Labels[i].ID < snap.Labels[j].ID })
+	sort.SliceStable(snap.Events, func(i, j int) bool {
+		a, b := &snap.Events[i], &snap.Events[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		return a.Kind < b.Kind
+	})
+	return snap
+}
+
+// Filter returns a snapshot containing only events of flow id, plus the
+// global policy instants (MGPS evaluations and switches), which provide the
+// scheduling context any single job's trace is read against.
+func (s Snapshot) Filter(id uint64) Snapshot {
+	out := Snapshot{Lanes: s.Lanes, Dropped: s.Dropped}
+	for _, ev := range s.Events {
+		if ev.ID == id || ev.Kind == KindEval || ev.Kind == KindSwitch {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	for _, lp := range s.Labels {
+		if lp.ID == id {
+			out.Labels = append(out.Labels, lp)
+		}
+	}
+	return out
+}
+
+// Summary returns a one-line per-kind accounting of the snapshot, e.g.
+// "events=1234 dropped=0 queue=17 kernel=17 parfor=1100 ...". Kinds with no
+// events are omitted.
+func (s Snapshot) Summary() string {
+	var counts [numKinds]int
+	var spanNs [numKinds]int64
+	for _, ev := range s.Events {
+		if int(ev.Kind) < int(numKinds) {
+			counts[ev.Kind]++
+			spanNs[ev.Kind] += ev.Dur
+		}
+	}
+	out := fmt.Sprintf("events=%d dropped=%d", len(s.Events), s.Dropped)
+	for k := Kind(1); k < numKinds; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		if spanNs[k] > 0 {
+			out += fmt.Sprintf(" %s=%d(%.1fms)", k, counts[k], float64(spanNs[k])/1e6)
+		} else {
+			out += fmt.Sprintf(" %s=%d", k, counts[k])
+		}
+	}
+	return out
+}

@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
+	"cellmg/internal/flight"
 	"cellmg/internal/phylo"
 	"cellmg/internal/stats"
 )
@@ -32,6 +34,10 @@ type AnalysisOptions struct {
 	// task (queue wait, run time, granted workers) — the hook the job server
 	// uses to account shared-runtime work to individual jobs.
 	Sink stats.OffloadSink
+	// FlightID tags this analysis's flight-recorder events (queue/kernel
+	// spans, NNI sweep instants) so traces of a shared runtime can be
+	// filtered per job. Only meaningful when the runtime has a recorder.
+	FlightID uint64
 }
 
 // AnalysisProgress is a snapshot handed to AnalysisOptions.Progress after a
@@ -155,6 +161,7 @@ func RunAnalysisContext(ctx context.Context, rt *Runtime, data *phylo.PatternAli
 		} else {
 			sub = rt.NewSubmitter()
 		}
+		sub.SetFlow(opts.FlightID)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -188,6 +195,23 @@ func RunAnalysisContext(ctx context.Context, rt *Runtime, data *phylo.PatternAli
 				eng.SetParallel(tc.ParallelFor)
 				so := opts.Search
 				so.Seed = seed
+				if rec := rt.Flight(); rec != nil {
+					// Each sweep becomes an instant on the master's lane:
+					// the search's logL trajectory and NNI accept/reject
+					// counts, tagged with the analysis's flow id. The
+					// recorder stamps the time; no clock is read here, so
+					// the determinism contract of this file holds.
+					lane := rec.WorkerLane(tc.Master())
+					prev := so.Progress
+					so.Progress = func(p phylo.SearchProgress) {
+						rec.Instant(lane, flight.KindSweep, opts.FlightID,
+							int64(p.NNIAccepted)<<32|int64(p.NNIEvaluated),
+							int64(math.Float64bits(p.LogLikelihood)))
+						if prev != nil {
+							prev(p)
+						}
+					}
+				}
 				sr, err := eng.SearchContext(ctx, so)
 				if err != nil {
 					results[ji] = outcome{job: j, err: err}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cellmg/internal/flight"
 	"cellmg/internal/policy"
 	"cellmg/internal/stats"
 )
@@ -75,6 +76,10 @@ type Options struct {
 	// master slice of a work-shared loop to compensate for worker wake-up
 	// latency (default 0.05).
 	MasterShareBonus float64
+	// Flight, when non-nil, records the runtime's off-load lifecycle (queue
+	// waits, kernel runs, work-shared loops) and MGPS policy decisions into
+	// the flight recorder. Nil disables recording at nil-check cost.
+	Flight *flight.Recorder
 }
 
 // Stats is a snapshot of runtime counters.
@@ -91,6 +96,7 @@ type Stats struct {
 type Runtime struct {
 	opts    Options
 	workers []*worker
+	flight  *flight.Recorder
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -131,8 +137,9 @@ func New(opts Options) *Runtime {
 		opts.MasterShareBonus = 0.05
 	}
 	r := &Runtime{
-		opts:  opts,
-		alloc: policy.NewSPEAllocator(opts.Workers),
+		opts:   opts,
+		alloc:  policy.NewSPEAllocator(opts.Workers),
+		flight: opts.Flight,
 	}
 	r.cond = sync.NewCond(&r.mu)
 	switch opts.Policy {
@@ -184,6 +191,9 @@ func (r *Runtime) Close() {
 // Workers returns the pool size.
 func (r *Runtime) Workers() int { return r.opts.Workers }
 
+// Flight returns the runtime's flight recorder (nil when tracing is off).
+func (r *Runtime) Flight() *flight.Recorder { return r.flight }
+
 // Policy returns the configured policy kind.
 func (r *Runtime) Policy() PolicyKind { return r.opts.Policy }
 
@@ -226,6 +236,7 @@ type Submitter struct {
 	rt   *Runtime
 	id   int
 	sink stats.OffloadSink
+	flow uint64
 }
 
 // NewSubmitter registers a new task stream.
@@ -243,6 +254,11 @@ func (r *Runtime) NewSubmitterWithSink(sink stats.OffloadSink) *Submitter {
 	s.sink = sink
 	return s
 }
+
+// SetFlow tags every event this submitter records in the flight recorder
+// with flow id (an analysis run or server job), so a shared runtime's trace
+// can be filtered down to one job's lifecycle.
+func (s *Submitter) SetFlow(id uint64) { s.flow = id }
 
 // TaskContext is passed to an off-loaded task body; it exposes the loop-level
 // parallelism of the worker group assigned to the task.
@@ -267,6 +283,7 @@ type TaskContext struct {
 	rt     *Runtime
 	group  []int // worker slots held by this task; group[0] is the master
 	master int
+	flow   uint64 // flight-recorder flow id inherited from the submitter
 
 	loopBody  func(lo, hi int) // body of the loop currently being work-shared
 	loopWG    sync.WaitGroup
@@ -320,6 +337,10 @@ func (tc *TaskContext) runShared() {
 // loop-level parallelism is off).
 func (tc *TaskContext) GroupSize() int { return len(tc.group) }
 
+// Master returns the worker slot the task body runs on — the lane its
+// flight-recorder events belong to.
+func (tc *TaskContext) Master() int { return tc.master }
+
 // Offload runs fn as one off-loaded task: it blocks until the task completes,
 // mirroring an MPI process waiting for its off-loaded function, while other
 // submitters keep feeding the pool. The task body runs on a worker; its
@@ -350,6 +371,7 @@ func (s *Submitter) OffloadContext(ctx context.Context, fn func(tc *TaskContext)
 		defer stop()
 	}
 	enqueued := time.Now()
+	qStart := r.flight.Now()
 
 	r.mu.Lock()
 	if r.closed {
@@ -406,15 +428,18 @@ func (s *Submitter) OffloadContext(ctx context.Context, fn func(tc *TaskContext)
 	}
 	r.mu.Unlock()
 	granted := time.Now()
+	r.flight.Span(r.flight.SubmitLane(s.id), flight.KindQueue, s.flow, qStart, int64(s.id), int64(len(group)))
 
 	// Run the task body on the master worker.
-	tc := &TaskContext{rt: r, group: group, master: group[0]}
+	tc := &TaskContext{rt: r, group: group, master: group[0], flow: s.flow}
 	if len(group) > 1 {
 		tc.initLoopRunners()
 	}
 	done := make(chan struct{})
 	r.workers[group[0]].jobs <- func() {
+		kStart := r.flight.Now()
 		fn(tc)
+		r.flight.Span(r.flight.WorkerLane(group[0]), flight.KindKernel, s.flow, kStart, int64(s.id), int64(len(group)))
 		close(done)
 	}
 	<-done
@@ -425,7 +450,19 @@ func (s *Submitter) OffloadContext(ctx context.Context, fn func(tc *TaskContext)
 	r.active--
 	if r.mgps != nil {
 		waiting := r.active + 1 // tasks currently wanting workers, including the stream that just finished
-		r.mgps.RecordCompletion(s.id, waiting)
+		evalsBefore := r.mgps.Evaluations()
+		dec, changed := r.mgps.RecordCompletion(s.id, waiting)
+		if r.flight != nil && r.mgps.Evaluations() != evalsBefore {
+			lane := r.flight.PolicyLane()
+			r.flight.Instant(lane, flight.KindEval, 0, int64(r.mgps.LastU()), int64(dec.SPEsPerLoop))
+			if changed {
+				llp := int64(0)
+				if dec.UseLLP {
+					llp = 1
+				}
+				r.flight.Instant(lane, flight.KindSwitch, 0, int64(dec.SPEsPerLoop), llp)
+			}
+		}
 	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
@@ -480,6 +517,7 @@ func (tc *TaskContext) ParallelFor(n int, body func(lo, hi int)) {
 		return
 	}
 	atomic.AddInt64(&r.loopsWorkShared, 1)
+	loopStart := r.flight.Now()
 
 	grain := rest / (workers * grainsPerWorker)
 	if grain < minLoopGrain {
@@ -508,4 +546,6 @@ func (tc *TaskContext) ParallelFor(n int, body func(lo, hi int)) {
 	tc.runShared()
 	tc.loopWG.Wait()
 	tc.loopBody = nil
+	r.flight.Span(r.flight.WorkerLane(tc.master), flight.KindLoop, tc.flow, loopStart,
+		int64(n), int64(launch+1)<<32|int64(grain))
 }

@@ -159,3 +159,18 @@ func BenchmarkSmallSearch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvaluateFlight measures the full-sweep evaluation with its loops
+// work-shared on a native runtime, with the flight recorder on ("traced")
+// and off ("off"). The PR 7 acceptance bound is traced within 2% of off.
+func BenchmarkEvaluateFlight(b *testing.B) {
+	b.Run("traced", benchfix.EvaluateFullSweepFlight(true))
+	b.Run("off", benchfix.EvaluateFullSweepFlight(false))
+}
+
+// BenchmarkSearchNNIFlight is the same recorder-overhead pair on the 50-taxon
+// NNI search — the loop-densest workload, so the worst case for tracing cost.
+func BenchmarkSearchNNIFlight(b *testing.B) {
+	b.Run("traced", benchfix.SearchNNIFlight(true))
+	b.Run("off", benchfix.SearchNNIFlight(false))
+}

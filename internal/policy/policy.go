@@ -67,6 +67,7 @@ type MGPS struct {
 	current        Decision
 	evaluations    int
 	switches       int
+	lastU          int
 }
 
 // NewMGPS creates a controller with the given configuration. Zero or negative
@@ -120,6 +121,7 @@ func (m *MGPS) RecordCompletion(procID int, waitingTasks int) (Decision, bool) {
 	}
 	m.evaluations++
 	u := len(m.procsInWindow)
+	m.lastU = u
 	prev := m.current
 	if u <= m.cfg.UThreshold {
 		t := waitingTasks
@@ -149,6 +151,12 @@ func (m *MGPS) RecordCompletion(procID int, waitingTasks int) (Decision, bool) {
 // U returns the degree of task-level parallelism observed so far in the
 // current window (distinct processes that off-loaded).
 func (m *MGPS) U() int { return len(m.procsInWindow) }
+
+// LastU returns the degree of task-level parallelism measured by the most
+// recent window evaluation (0 before the first evaluation). The window maps
+// are reset after each evaluation, so this is the only place the measured U
+// survives — the flight recorder reads it to annotate mgps-eval instants.
+func (m *MGPS) LastU() int { return m.lastU }
 
 // StaticLLPDecision returns the decision used by the static EDTLP-LLP
 // schedulers of Figure 7: a fixed number of SPEs per parallel loop.

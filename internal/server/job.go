@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"cellmg/internal/flight"
 	"cellmg/internal/native"
 	"cellmg/internal/phylo"
 	"cellmg/internal/stats"
@@ -226,6 +227,12 @@ type Job struct {
 	cancel    func() // cancels runCtx
 	done      chan struct{}
 
+	// flightID tags the job's events in the runtime flight recorder (0 when
+	// the recorder is off); flightQueued is the recorder timestamp of
+	// admission, the start of the job-queued span.
+	flightID     uint64
+	flightQueued flight.Time
+
 	mu        sync.Mutex
 	state     State
 	submitted time.Time
@@ -304,6 +311,17 @@ func (j *Job) clearData() {
 	j.mu.Lock()
 	j.data = nil
 	j.mu.Unlock()
+}
+
+// runDuration returns how long the job ran (0 if it never started or has not
+// finished).
+func (j *Job) runDuration() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
 }
 
 // queueWait returns how long the job waited for admission (0 if never

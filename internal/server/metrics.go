@@ -44,16 +44,23 @@ type MetricsSnapshot struct {
 	QueueLen    int                      `json:"queue_len"`
 	QueueCap    int                      `json:"queue_cap"`
 	JobsRunning int                      `json:"jobs_running"`
+	// Latencies summarizes the four latency histograms that also back the
+	// Prometheus /metrics endpoint, so the two surfaces agree by
+	// construction (see histogramNames for the key↔metric mapping).
+	Latencies map[string]LatencySummary `json:"latencies"`
 }
 
-// metricsRegistry owns the per-tenant counters.
+// metricsRegistry owns the per-tenant counters and mirrors every admission
+// outcome into the Prometheus registry, so the JSON and text surfaces count
+// from the same call sites.
 type metricsRegistry struct {
 	mu      sync.Mutex
 	tenants map[string]*TenantMetrics
+	prom    *promMetrics
 }
 
-func newMetricsRegistry() *metricsRegistry {
-	return &metricsRegistry{tenants: map[string]*TenantMetrics{}}
+func newMetricsRegistry(prom *promMetrics) *metricsRegistry {
+	return &metricsRegistry{tenants: map[string]*TenantMetrics{}, prom: prom}
 }
 
 func (m *metricsRegistry) tenant(name string) *TenantMetrics {
@@ -69,18 +76,22 @@ func (m *metricsRegistry) jobSubmitted(tenant string) {
 	m.mu.Lock()
 	m.tenant(tenant).Submitted++
 	m.mu.Unlock()
+	m.prom.submitted.With(tenant).Inc()
 }
 
 func (m *metricsRegistry) jobRejected(tenant string) {
 	m.mu.Lock()
 	m.tenant(tenant).Rejected++
 	m.mu.Unlock()
+	m.prom.rejected.With(tenant).Inc()
 }
 
-// jobFinished folds a terminal job into its tenant's counters.
+// jobFinished folds a terminal job into its tenant's counters and observes
+// its queue wait and run duration into the latency histograms.
 func (m *metricsRegistry) jobFinished(j *Job) {
 	state := j.State()
 	wait := j.queueWait()
+	run := j.runDuration()
 	sum := j.collector.Summary()
 	m.mu.Lock()
 	t := m.tenant(j.Tenant)
@@ -95,6 +106,20 @@ func (m *metricsRegistry) jobFinished(j *Job) {
 	t.QueueWaitTotal += wait
 	t.Offloads.Merge(sum)
 	m.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		m.prom.completed.With(j.Tenant).Inc()
+	case StateFailed:
+		m.prom.failed.With(j.Tenant).Inc()
+	case StateCancelled:
+		m.prom.cancelled.With(j.Tenant).Inc()
+	}
+	m.prom.jobQueueWait.ObserveSeconds(int64(wait))
+	if run > 0 {
+		// Jobs cancelled while queued never ran; only real runs are observed.
+		m.prom.jobRun.ObserveSeconds(int64(run))
+	}
 }
 
 // snapshot copies the per-tenant map.

@@ -32,11 +32,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cellmg/internal/flight"
 	"cellmg/internal/native"
 	"cellmg/internal/stats"
 )
@@ -67,10 +69,27 @@ type Options struct {
 	// MaxFinishedJobs bounds how many terminal jobs stay queryable (default
 	// 1024); beyond it the oldest are evicted and their ids return 404.
 	MaxFinishedJobs int
+
+	// Flight enables the runtime flight recorder: off-load and job lifecycle
+	// spans plus MGPS decisions become downloadable Chrome traces at
+	// GET /v1/trace and GET /v1/jobs/{id}/trace. The Prometheus /metrics
+	// surface is always on; only tracing is gated (it holds per-lane ring
+	// buffers in memory).
+	Flight bool
+	// FlightLaneEvents overrides the per-lane ring capacity (default 4096).
+	FlightLaneEvents int
 }
 
 func (o *Options) withDefaults() Options {
 	out := *o
+	// The worker default mirrors native.New's: the flight recorder's lane
+	// layout must be sized before the runtime exists.
+	if out.Workers <= 0 {
+		out.Workers = 8
+		if p := runtime.GOMAXPROCS(0); p < out.Workers {
+			out.Workers = p
+		}
+	}
 	if out.QueueCapacity <= 0 {
 		out.QueueCapacity = 64
 	}
@@ -98,6 +117,8 @@ type Server struct {
 	rt      *native.Runtime
 	queue   *jobQueue
 	metrics *metricsRegistry
+	prom    *promMetrics
+	flight  *flight.Recorder
 	mux     *http.ServeMux
 
 	baseCtx    context.Context
@@ -118,26 +139,38 @@ type Server struct {
 // runners. Close must be called to release them.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	var rec *flight.Recorder
+	if opts.Flight {
+		rec = flight.New(flight.Config{Workers: opts.Workers, LaneEvents: opts.FlightLaneEvents})
+	}
 	s := &Server{
 		opts: opts,
 		rt: native.New(native.Options{
 			Workers:     opts.Workers,
 			Policy:      opts.Policy,
 			SPEsPerLoop: opts.SPEsPerLoop,
+			Flight:      rec,
 		}),
-		queue:   newJobQueue(opts.QueueCapacity),
-		metrics: newMetricsRegistry(),
-		jobs:    map[string]*Job{},
+		queue:  newJobQueue(opts.QueueCapacity),
+		flight: rec,
+		jobs:   map[string]*Job{},
 	}
+	// The Prometheus registry's gauges read live server state, so it is
+	// built after the runtime and queue exist; the tenant registry feeds it.
+	s.prom = newPromMetrics(s)
+	s.metrics = newMetricsRegistry(s.prom)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	for i := 0; i < opts.MaxConcurrent; i++ {
 		s.wg.Add(1)
 		go s.runner()
@@ -242,6 +275,13 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		total:     spec.tasks(),
 	}
 	j.runCtx = ctx
+	if s.flight != nil {
+		// The submission counter doubles as the flow id: unique per job,
+		// stable across the trace endpoints.
+		j.flightID = uint64(s.nextID)
+		s.flight.Label(j.flightID, id+"/"+tenant)
+		j.flightQueued = s.flight.Now()
+	}
 	s.jobs[id] = j
 	s.mu.Unlock()
 
@@ -301,9 +341,12 @@ func (s *Server) Cancel(id string) (j *Job, found, cancelled bool) {
 		return nil, false, false
 	}
 	if s.queue.Remove(j) {
-		// Still queued: it will never reach a runner, finish it here.
+		// Still queued: it will never reach a runner, finish it here. Its
+		// queued span ends now and no job-run span will ever exist.
 		j.cancel()
 		if j.finish(StateCancelled, nil, "") {
+			s.flight.Span(s.flight.JobLane(), flight.KindJobQueued, j.flightID,
+				j.flightQueued, int64(j.Priority), 0)
 			s.retire(j)
 		}
 		return j, true, true
@@ -336,8 +379,12 @@ func (s *Server) Metrics() MetricsSnapshot {
 		QueueLen:    s.queue.Len(),
 		QueueCap:    s.opts.QueueCapacity,
 		JobsRunning: int(s.running.Load()),
+		Latencies:   s.prom.latencies(),
 	}
 }
+
+// Flight exposes the server's recorder (nil unless Options.Flight).
+func (s *Server) Flight() *flight.Recorder { return s.flight }
 
 // runner is one admission slot: it pops jobs in priority order and drives
 // them to a terminal state on the shared runtime.
@@ -356,34 +403,51 @@ func (s *Server) runJob(j *Job) {
 	if !j.transition(StateQueued, StateRunning) {
 		return // cancelled between Pop and here
 	}
+	// The admission wait becomes a span on the jobs lane the moment it ends.
+	s.flight.Span(s.flight.JobLane(), flight.KindJobQueued, j.flightID,
+		j.flightQueued, int64(j.Priority), 0)
+	runStart := s.flight.Now()
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	j.events.Append(EventStarted, map[string]any{
 		"queue_wait_ms": float64(j.queueWait()) / float64(time.Millisecond),
 	})
 
+	finish := func(state State, result *Result, errMsg string) {
+		if !j.finish(state, result, errMsg) {
+			return
+		}
+		var outcome int64
+		switch state {
+		case StateFailed:
+			outcome = 1
+		case StateCancelled:
+			outcome = 2
+		}
+		s.flight.Span(s.flight.JobLane(), flight.KindJobRun, j.flightID,
+			runStart, int64(j.total), outcome)
+		s.retire(j)
+	}
+
 	opts, err := j.Spec.analysisOptions() // validated at submit; cannot fail here
 	if err != nil {
-		if j.finish(StateFailed, nil, err.Error()) {
-			s.retire(j)
-		}
+		finish(StateFailed, nil, err.Error())
 		return
 	}
 	opts.Progress = j.noteProgress
-	opts.Sink = j.collector
+	// The per-job collector and the global off-load histograms see the same
+	// event stream; the flow id keys this job's spans in the shared trace.
+	opts.Sink = stats.TeeSink{j.collector, offloadSink{p: s.prom}}
+	opts.FlightID = j.flightID
 
 	res, err := native.RunAnalysisContext(j.runCtx, s.rt, j.data, opts)
-	var done bool
 	switch {
 	case err == nil:
-		done = j.finish(StateDone, ResultFromAnalysis(res), "")
+		finish(StateDone, ResultFromAnalysis(res), "")
 	case errors.Is(err, context.Canceled):
-		done = j.finish(StateCancelled, nil, "")
+		finish(StateCancelled, nil, "")
 	default:
-		done = j.finish(StateFailed, nil, err.Error())
-	}
-	if done {
-		s.retire(j)
+		finish(StateFailed, nil, err.Error())
 	}
 }
 
@@ -535,6 +599,46 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handlePrometheus serves the text exposition format. Unlike the trace
+// endpoints it is always available: counters and gauges cost nothing when
+// nobody scrapes them.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.prom.reg.WriteText(w)
+}
+
+// handleTrace serves the whole recorder as a Chrome trace (every tenant's
+// spans plus the policy lane).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeError(w, http.StatusNotImplemented, "flight recorder disabled; start the server with tracing enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="cellmg-trace.json"`)
+	w.WriteHeader(http.StatusOK)
+	_ = s.flight.Snapshot().WriteChrome(w)
+}
+
+// handleJobTrace serves one job's slice of the shared trace: its queue,
+// kernel, loop, sweep and lifecycle spans, plus the policy lane for context.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if s.flight == nil {
+		writeError(w, http.StatusNotImplemented, "flight recorder disabled; start the server with tracing enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.ID+"-trace.json"))
+	w.WriteHeader(http.StatusOK)
+	_ = s.flight.Snapshot().Filter(j.flightID).WriteChrome(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

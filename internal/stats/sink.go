@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -41,6 +42,24 @@ type OffloadSummary struct {
 	QueueWaitMax   time.Duration `json:"queue_wait_max_ns"`
 	RunTotal       time.Duration `json:"run_total_ns"`
 	WorkersGranted int           `json:"workers_granted"`
+}
+
+// QueueWaitMean returns the mean queue wait per off-load; an empty summary
+// yields 0 rather than dividing by zero.
+func (s OffloadSummary) QueueWaitMean() time.Duration {
+	if s.Offloads == 0 {
+		return 0
+	}
+	return s.QueueWaitTotal / time.Duration(s.Offloads)
+}
+
+// RunMean returns the mean task-body run time per off-load; an empty summary
+// yields 0.
+func (s OffloadSummary) RunMean() time.Duration {
+	if s.Offloads == 0 {
+		return 0
+	}
+	return s.RunTotal / time.Duration(s.Offloads)
 }
 
 // Merge adds another summary into this one.
@@ -99,13 +118,20 @@ func (t TeeSink) RecordOffload(ev OffloadEvent) {
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
-// interpolation between order statistics. It copies and sorts its input; an
-// empty sample yields 0.
+// interpolation between order statistics. The input need not be sorted: a
+// copy is sorted internally and xs is never mutated. An empty sample yields
+// 0, a single sample yields that sample for every p, NaN entries are dropped
+// (they have no order rank), and p is clamped to [0, 1].
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]

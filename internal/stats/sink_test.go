@@ -61,20 +61,51 @@ func TestOffloadSummaryMerge(t *testing.T) {
 }
 
 func TestPercentile(t *testing.T) {
-	xs := []float64{4, 1, 3, 2}
-	cases := []struct{ p, want float64 }{
-		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty nil", nil, 0.5, 0},
+		{"empty slice", []float64{}, 0.99, 0},
+		{"single sample p0", []float64{7}, 0, 7},
+		{"single sample p50", []float64{7}, 0.5, 7},
+		{"single sample p100", []float64{7}, 1, 7},
+		{"unsorted p0", []float64{4, 1, 3, 2}, 0, 1},
+		{"unsorted p100", []float64{4, 1, 3, 2}, 1, 4},
+		{"unsorted median", []float64{4, 1, 3, 2}, 0.5, 2.5},
+		{"unsorted interp", []float64{4, 1, 3, 2}, 0.25, 1.75},
+		{"p below range clamps", []float64{4, 1, 3, 2}, -0.5, 1},
+		{"p above range clamps", []float64{4, 1, 3, 2}, 1.5, 4},
+		{"NaN entries dropped", []float64{math.NaN(), 2, math.NaN(), 4}, 0.5, 3},
+		{"all NaN", []float64{math.NaN(), math.NaN()}, 0.5, 0},
+		{"duplicates", []float64{5, 5, 5, 5}, 0.9, 5},
 	}
 	for _, c := range cases {
-		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
-			t.Errorf("Percentile(%.2f) = %v, want %v", c.p, got, c.want)
+		if got := Percentile(c.xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.xs, c.p, got, c.want)
 		}
 	}
-	if got := Percentile(nil, 0.5); got != 0 {
-		t.Errorf("empty percentile = %v", got)
-	}
 	// Input must not be reordered.
-	if xs[0] != 4 {
+	xs := []float64{4, 1, 3, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 4 || xs[1] != 1 || xs[2] != 3 || xs[3] != 2 {
 		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestOffloadSummaryMeans(t *testing.T) {
+	var empty OffloadSummary
+	if empty.QueueWaitMean() != 0 || empty.RunMean() != 0 {
+		t.Errorf("empty summary means = %v, %v, want 0, 0", empty.QueueWaitMean(), empty.RunMean())
+	}
+	one := OffloadSummary{Offloads: 1, QueueWaitTotal: 3 * time.Millisecond, RunTotal: 7 * time.Millisecond}
+	if one.QueueWaitMean() != 3*time.Millisecond || one.RunMean() != 7*time.Millisecond {
+		t.Errorf("single-sample means = %v, %v", one.QueueWaitMean(), one.RunMean())
+	}
+	many := OffloadSummary{Offloads: 4, QueueWaitTotal: 8 * time.Millisecond, RunTotal: 2 * time.Millisecond}
+	if many.QueueWaitMean() != 2*time.Millisecond {
+		t.Errorf("mean queue wait = %v", many.QueueWaitMean())
 	}
 }
