@@ -1,6 +1,7 @@
 package benchfix
 
 import (
+	"context"
 	"testing"
 
 	"cellmg/internal/flight"
@@ -65,12 +66,14 @@ func EvaluateFullSweepFlight(traced bool) func(b *testing.B) {
 // SearchNNIFlight is the incremental-mode SearchNNI run on a native runtime;
 // traced toggles the flight recorder. A search emits far more ParallelFor
 // loops per second than the full-sweep benchmark, so this is the adversarial
-// case for record-path overhead.
+// case for record-path overhead. Like SearchNNI, the engine and tree live
+// outside the timed loop and each op restores the starting topology, so every
+// iteration is the same allocation-free search.
 func SearchNNIFlight(traced bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		rt, _ := flightRuntime(traced)
 		defer rt.Close()
-		data, err := SearchAlignment()
+		eng, tree, snap, err := SearchEngine()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,14 +81,15 @@ func SearchNNIFlight(traced bool) func(b *testing.B) {
 		sub.SetFlow(1)
 		b.ReportAllocs()
 		err = sub.Offload(func(tc *native.TaskContext) {
+			eng.SetParallel(tc.ParallelFor)
+			opts := SearchNNIOptions(false)
+			var res phylo.SearchResult
 			run := func() float64 {
-				eng, err := phylo.NewEngine(data, phylo.NewJC69(), phylo.SingleRate())
-				if err != nil {
+				if err := snap.Restore(tree); err != nil {
 					b.Fatal(err)
 				}
-				eng.SetParallel(tc.ParallelFor)
-				res, err := eng.Search(SearchNNIOptions(false))
-				if err != nil {
+				eng.InvalidateAll()
+				if err := eng.SearchInto(context.Background(), tree, opts, &res); err != nil {
 					b.Fatal(err)
 				}
 				return res.LogLikelihood

@@ -237,7 +237,7 @@ func RunAnalysisContext(ctx context.Context, rt *Runtime, data *phylo.PatternAli
 		return nil, err
 	}
 
-	res := &AnalysisResult{BestLogLik: -1e308}
+	res := &AnalysisResult{BestLogLik: math.Inf(-1)}
 	res.InferenceLogs = make([]float64, opts.Inferences)
 	res.Replicates = make([]*phylo.Tree, opts.Bootstraps)
 	for _, out := range results {

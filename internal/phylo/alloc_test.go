@@ -9,6 +9,7 @@ package phylo_test
 // measure.
 
 import (
+	"context"
 	"testing"
 
 	"cellmg/internal/benchfix"
@@ -79,5 +80,41 @@ func TestIncrementalEvaluationAllocationFree(t *testing.T) {
 		eng.LogLikelihood(tree)
 	}); avg != 0 {
 		t.Errorf("incremental invalidate+evaluate allocates %v per cycle, want 0", avg)
+	}
+}
+
+// TestSearchAllocationFree pins the ENTIRE search path — move generation,
+// topology snapshot/restore, NNI apply/revert, branch smoothing, tree
+// validation, site-repeat class rebuilds and the transition-cache slab — at
+// zero allocations per full search once the engine's scratch is warm. This is
+// the headline guard of the 39k-allocs-per-search fix: before the arena
+// scratch and SearchInto, every search allocated ~39,000 times.
+func TestSearchAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full NNI searches are slow; skipped in -short mode")
+	}
+	eng, tree, snap, err := benchfix.SearchEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := benchfix.SearchNNIOptions(false)
+	ctx := context.Background()
+	var res phylo.SearchResult
+	run := func() {
+		if err := snap.Restore(tree); err != nil {
+			t.Fatal(err)
+		}
+		eng.InvalidateAll()
+		if err := eng.SearchInto(ctx, tree, opts, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two warm searches: the first grows every scratch buffer and the cache
+	// slab high-water mark, the second confirms the sizes have settled before
+	// the guarded runs (AllocsPerRun adds one more warmup of its own).
+	run()
+	run()
+	if avg := testing.AllocsPerRun(3, run); avg != 0 {
+		t.Errorf("full NNI search allocates %v per run in steady state, want 0", avg)
 	}
 }

@@ -2,6 +2,7 @@
 package phylo
 
 import (
+	"math"
 	"math/rand"
 )
 
@@ -154,4 +155,12 @@ func RunAnalysis(data *PatternAlignment, model Model, rates RateCategories, opts
 	return res, nil
 }
 
-func negInf() float64 { return -1e308 }
+// negInf is the identity of the best-logL comparisons above: any real search
+// result beats it. It must be a true -Inf, not a large-magnitude finite
+// sentinel — a finite sentinel silently loses to nothing but also *wins*
+// against a genuinely -Inf candidate, turning "no valid result" into a
+// recorded best. (Engine log-likelihoods themselves are always finite: the
+// evaluate kernel clamps per-site likelihoods to math.SmallestNonzeroFloat64,
+// so even all-gap patterns and boundary branch lengths produce finite logL —
+// see TestDegenerateInputsFiniteLogL.)
+func negInf() float64 { return math.Inf(-1) }

@@ -52,4 +52,53 @@
 // (asserted exactly by the property tests in incremental_test.go).
 // OptimizeLocal re-optimizes only the branches around a rearranged edge,
 // which is what makes per-candidate NNI cost independent of taxon count.
+//
+// # CLV storage layout
+//
+// All conditional likelihood vectors live in flat engine-owned blocks — tip
+// conditionals, downward CLVs and scalers, outward CLVs and scalers — indexed
+// by node ID (tips by taxon index): a structure-of-arrays layout instead of
+// the former per-node slice-of-slices. The layout contract:
+//
+//   - a node's vector occupies [id*vecLen, (id+1)*vecLen) of its block, where
+//     vecLen = nPat * stride and stride = nCat * NumStates; scaler vectors
+//     occupy [id*nPat, (id+1)*nPat);
+//   - within a vector the order is pattern-major, category-interleaved:
+//     element (pattern i, category r, state s) sits at i*stride + r*NumStates + s;
+//   - accessors (downVec etc.) hand out full-capacity three-index subslices,
+//     so kernel-side reslicing keeps bounds-check elimination intact (verified
+//     with -gcflags=-d=ssa/check_bce: the unrolled 4-state bodies carry one
+//     slice-bound check per capped subslice and no per-element checks);
+//   - growth (ensureBuffers) copies old contents forward, so node vectors are
+//     stable across alignment-rebind but NOT across a growth event — kernels
+//     must re-fetch their subslices per call, which they do via the argument
+//     blocks.
+//
+// The Newview kernel never reads a tip's 0/1 indicator vector (those exist
+// in the tip block for the outward/evaluate paths): a tip child's transition
+// matrix is instead expanded once per Newview call into a nCat x 16 x 4
+// lookup table (fillTipTable), so the kernel's four dot products collapse to
+// a single table-row read indexed by the tip's 4-bit observed state set —
+// RAxML's tip-case specialization.
+//
+// # Site repeats
+//
+// Site-repeat compression (siterepeats.go, on by default, SetSiteRepeats to
+// toggle) exploits that alignment patterns identical across every tip below a
+// node have bit-identical CLVs at that node regardless of branch lengths:
+// only one representative per repeat class runs the kernel, the rest are
+// copies. The invalidation rule extends the incremental contract above —
+// repeat classes depend only on subtree COMPOSITION, never on branch lengths:
+//
+//   - InvalidateEdge leaves class state untouched (lengths changed, classes
+//     cannot have);
+//   - InvalidateNode and InvalidateAll mark the affected nodes repeat-dirty,
+//     and a version-stamped check (newviewRepeats) rebuilds classes only for
+//     nodes whose children's identity or class version actually changed;
+//   - SetSiteRepeats(true) after an off period discards all class state and
+//     forces a bottom-up rebuild, because maintenance was suspended.
+//
+// Compressed evaluation is byte-identical to uncompressed (property-tested in
+// siterepeats_test.go across models, rate categories and mid-sequence
+// toggling).
 package phylo

@@ -53,11 +53,13 @@ func (e *Engine) bindTree(t *Tree) {
 	n := len(t.Nodes)
 	if cap(e.downDirty) < n {
 		e.downDirty = make([]bool, n)
+		e.repDirty = make([]bool, n)
 		e.outEpoch = make([]uint64, n)
 		e.visitMark = make([]uint64, n)
 		e.edgeMark = make([]uint64, n)
 	}
 	e.downDirty = e.downDirty[:n]
+	e.repDirty = e.repDirty[:n]
 	e.outEpoch = e.outEpoch[:n]
 	e.visitMark = e.visitMark[:n]
 	e.edgeMark = e.edgeMark[:n]
@@ -66,10 +68,13 @@ func (e *Engine) bindTree(t *Tree) {
 }
 
 // markAllDirty forces the next traversal to recompute everything: every down
-// vector is marked stale and the epoch bump puts every out stamp in the past.
+// vector is marked stale (and every site-repeat class vector with it — a full
+// invalidation may cover composition changes) and the epoch bump puts every
+// out stamp in the past.
 func (e *Engine) markAllDirty() {
 	for i := range e.downDirty {
 		e.downDirty[i] = true
+		e.repDirty[i] = true
 	}
 	e.anyDirty = true
 	e.treeEpoch++
@@ -88,39 +93,45 @@ func (e *Engine) InvalidateAll() {
 // InvalidateEdge records that the length of the edge above v changed: v's
 // strict ancestors' down vectors are stale (each folds v's subtree through
 // P(v.Length)), and every out vector computed before the change may read the
-// old length, so the tree epoch advances unconditionally.
+// old length, so the tree epoch advances unconditionally. Site-repeat classes
+// depend only on subtree composition, so they stay valid.
 func (e *Engine) InvalidateEdge(v *Node) {
 	if e.lastTree == nil || v == nil || v.Parent == nil {
 		return
 	}
 	e.treeEpoch++
-	e.markAncestors(v.Parent)
+	e.markAncestors(v.Parent, false)
 }
 
 // InvalidateNode records that the subtree composition of n changed (its
 // children were reassigned, e.g. by an NNI rearrangement): n's own down
-// vector and those of all its ancestors are stale, and all out stamps are
-// pushed into the past by the epoch bump.
+// vector and those of all its ancestors are stale — along with their
+// site-repeat class vectors, which are composition-derived — and all out
+// stamps are pushed into the past by the epoch bump.
 func (e *Engine) InvalidateNode(n *Node) {
 	if e.lastTree == nil || n == nil {
 		return
 	}
 	e.treeEpoch++
-	e.markAncestors(n)
+	e.markAncestors(n, true)
 }
 
-// markAncestors marks n and its ancestors down-dirty, keeping the dirty set
-// upward-closed. The walk stops early when it meets an already-dirty node:
-// its ancestors are dirty by the invariant.
-func (e *Engine) markAncestors(n *Node) {
+// markAncestors marks n and its ancestors down-dirty (and, for composition
+// changes, repeat-dirty), keeping both dirty sets upward-closed. The walk
+// stops early when it meets a node that already carries every mark being
+// propagated: its ancestors carry them too by the invariant.
+func (e *Engine) markAncestors(n *Node, composition bool) {
 	for ; n != nil; n = n.Parent {
 		if n.IsTip() {
 			continue
 		}
-		if e.downDirty[n.ID] {
+		if e.downDirty[n.ID] && (!composition || e.repDirty[n.ID]) {
 			return
 		}
 		e.downDirty[n.ID] = true
+		if composition {
+			e.repDirty[n.ID] = true
+		}
 		e.anyDirty = true
 	}
 }
@@ -166,8 +177,8 @@ func (e *Engine) computeOutOne(u, v *Node) {
 	a := &e.outA
 	if u.Parent != nil {
 		a.pup = e.transitionFlat(u.Length, 1)
-		a.uv = e.out[u.ID]
-		a.uscale = e.outScale[u.ID]
+		a.uv = e.outVec(u.ID)
+		a.uscale = e.outScaleVec(u.ID)
 	} else {
 		a.pup = nil
 		a.uv = nil
@@ -176,8 +187,8 @@ func (e *Engine) computeOutOne(u, v *Node) {
 	sib := v.Sibling()
 	a.sv, a.sscale = e.childVector(sib)
 	a.psib = e.transitionFlat(sib.Length, 0)
-	a.dst = e.out[v.ID]
-	a.scale = e.outScale[v.ID]
+	a.dst = e.outVec(v.ID)
+	a.scale = e.outScaleVec(v.ID)
 	e.par(e.nPat, e.outFn)
 }
 

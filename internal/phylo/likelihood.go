@@ -30,13 +30,19 @@ const (
 // to avoid underflow on large trees.
 const scalingThreshold = 1e-80
 
+// tipStates is the number of distinct 4-bit observed state sets a tip can
+// carry (2^NumStates); the tip lookup tables have one row per set.
+const tipStates = 1 << NumStates
+
 // KernelStats counts invocations of the three likelihood kernels — the
 // functions the paper off-loads to SPEs. The native runtime and the workload
-// calibration read them.
+// calibration read them. RepeatsCopied counts per-pattern kernel evaluations
+// the site-repeat machinery replaced with a vector copy.
 type KernelStats struct {
 	NewviewCalls  int
 	EvaluateCalls int
 	MakenewzCalls int
+	RepeatsCopied int
 }
 
 // Engine evaluates and optimizes the likelihood of trees over one
@@ -48,10 +54,19 @@ type KernelStats struct {
 // ParallelFor (loop-level parallelism), mirroring the paper's two layers.
 //
 // The hot path is allocation-free in steady state: transition matrices are
-// served from a per-engine cache keyed by branch length (see transcache.go),
-// the kernel loop bodies are persistent closures created once at
-// construction, and every per-pattern buffer is engine-owned and reused.
-// Mutating Model or Rates in place requires InvalidateTransitions.
+// served from a per-engine slab-backed cache keyed by branch length (see
+// transcache.go), the kernel loop bodies are persistent closures created once
+// at construction, and every per-pattern buffer is engine-owned and reused.
+// The whole tree search rides on the same contract (SearchInto is 0 allocs/op
+// after warmup, guarded by alloc_test.go). Mutating Model or Rates in place
+// requires InvalidateTransitions.
+//
+// Conditional-likelihood storage is structure-of-arrays: all per-node vectors
+// live in four flat engine-owned blocks (node-major; within a node,
+// pattern-major with the rate categories interleaved per pattern), so a
+// traversal streams through contiguous memory instead of chasing per-node
+// slice headers. Site-repeat compression (siterepeats.go) makes patterns with
+// identical data in a node's subtree share one kernel evaluation.
 //
 // Likelihood evaluation is incremental (incremental.go): the engine tracks
 // which conditional vectors a tree mutation staled and traversals recompute
@@ -68,20 +83,47 @@ type Engine struct {
 	nPat   int
 	nCat   int
 	stride int // nCat * NumStates values per pattern
+	vecLen int // nPat * stride: one conditional-likelihood vector
 
-	tip       [][]float64 // per taxon: tip conditional likelihoods
-	down      [][]float64 // per node ID: subtree conditionals
-	downScale [][]float64 // per node ID: per-pattern log scalers
-	out       [][]float64 // per node ID: conditionals of everything outside the subtree
-	outScale  [][]float64
-	siteBuf   []float64 // per-pattern scratch for reductions
+	// SoA conditional-likelihood storage: one flat block per vector family,
+	// indexed by node ID (tipBlk by taxon index). The accessors below
+	// (tipVec/downVec/outVec/...) carve full-capacity subslices, so the
+	// kernels' bounds checks resolve against the per-node vector length.
+	tipBlk  []float64    // nTaxa * vecLen: tip conditional likelihoods
+	clvDown []float64    // nodeCap * vecLen: subtree conditionals
+	sclDown []float64    // nodeCap * nPat: per-pattern log scalers
+	clvOut  []float64    // nodeCap * vecLen: conditionals of everything outside the subtree
+	sclOut  []float64    // nodeCap * nPat
+	nodeCap int          // nodes the blocks are sized for
+	siteBuf []float64    // per-pattern scratch for reductions
+	tipTab  [2][]float64 // per-call tip lookup tables, nCat*tipStates*NumStates each
 
 	// Transition cache (transcache.go).
 	cacheOn      bool
 	probs        map[float64][]float64
-	derivs       map[float64]*derivTriple
+	derivs       map[float64]derivTriple
+	probSlab     transSlab
+	derivSlab    transSlab
 	transScratch [2][]float64
-	derivScratch *derivTriple
+	derivScratch derivTriple
+
+	// Site-repeat compression (siterepeats.go).
+	repOn      bool
+	repClass   []int32  // nodeCap * nPat: per-node pattern class ids
+	repSrc     []int32  // nodeCap * nPat: representative pattern per pattern
+	repUniq    []int32  // nodeCap * nPat: representative list, first repCnt[id] entries
+	repDup     []int32  // nodeCap * nPat: duplicate list, first nPat-repCnt[id] entries
+	repCnt     []int32  // per node: number of classes
+	repDirty   []bool   // class vectors possibly stale (subtree composition changed)
+	repVer     []uint64 // per node: bumped whenever the node's classes are rebuilt
+	repBuiltL  []int32  // child IDs the classes were built from (-1: never built)
+	repBuiltR  []int32
+	repBuiltLV []uint64 // child class versions the classes were built from
+	repBuiltRV []uint64
+	repFirst   []int32 // class -> first pattern, rebuild scratch
+	pairTab    []int32 // dense (leftClass, rightClass) -> class scratch
+	pairGen    []uint32
+	pairCur    uint32
 
 	// Persistent kernel loop bodies and their argument blocks. The bodies are
 	// built once in NewEngine and fed engine-owned argument structs, so
@@ -100,20 +142,30 @@ type Engine struct {
 	// vectors, epoch stamps for the out vectors, and scratch buffers for the
 	// local-neighborhood traversals. All slices are indexed by Node.ID.
 	lastTree  *Tree
-	downDirty []bool   // down[n] needs recomputation
+	downDirty []bool   // down vector of n needs recomputation
 	anyDirty  bool     // fast path: false means every down vector is current
 	treeEpoch uint64   // bumped on every materialized change to the tree
-	outEpoch  []uint64 // epoch at which out[n] was last computed
+	outEpoch  []uint64 // epoch at which the out vector of n was last computed
 	visitGen  uint64   // generation counter for the scratch marks below
 	visitMark []uint64 // node-visited marks for collectLocalEdges
 	edgeMark  []uint64 // edge-collected marks for collectLocalEdges
 	pathBuf   []*Node  // root-to-edge path scratch for ensureOut
 	localBuf  []*Node  // BFS frontier scratch for collectLocalEdges
 	edgeBuf   []*Node  // collected local edge set (valid until the next call)
+
+	// Search scratch (search.go): buffers reused across every sweep and
+	// candidate of every search run on this engine, so SearchInto allocates
+	// nothing in steady state.
+	movesBuf   []NNIMove
+	savedNodes []*Node
+	savedLens  []float64
+	valStack   []*Node
+	valSeen    []uint64
+	valGen     uint64
 }
 
 // NewEngine creates a likelihood engine for the alignment, model and rate
-// categories.
+// categories. Site-repeat compression is on by default (SetSiteRepeats).
 func NewEngine(data *PatternAlignment, model Model, rates RateCategories) (*Engine, error) {
 	if data == nil || data.NumPatterns() == 0 {
 		return nil, fmt.Errorf("phylo: engine needs a non-empty pattern alignment")
@@ -132,9 +184,13 @@ func NewEngine(data *PatternAlignment, model Model, rates RateCategories) (*Engi
 		nPat:   data.NumPatterns(),
 		nCat:   rates.Count(),
 		stride: rates.Count() * NumStates,
+		repOn:  true,
 	}
+	e.vecLen = e.nPat * e.stride
 	e.buildTipVectors()
 	e.initCache()
+	e.tipTab[0] = make([]float64, e.nCat*tipStates*NumStates)
+	e.tipTab[1] = make([]float64, e.nCat*tipStates*NumStates)
 	e.nvFn = e.newviewBody
 	e.outFn = e.computeOutBody
 	e.evalFn = e.evaluateBody
@@ -154,10 +210,50 @@ func (e *Engine) SetParallel(p ParallelFor) {
 // parallel loop; 228 for the paper's 42_SC input).
 func (e *Engine) NumPatterns() int { return e.nPat }
 
+// tipVec returns the conditional likelihood vector of a tip.
+//
+//cellmg:hotpath
+func (e *Engine) tipVec(taxon int) []float64 {
+	o := taxon * e.vecLen
+	return e.tipBlk[o : o+e.vecLen : o+e.vecLen]
+}
+
+// downVec returns the subtree conditional vector of a node.
+//
+//cellmg:hotpath
+func (e *Engine) downVec(id int) []float64 {
+	o := id * e.vecLen
+	return e.clvDown[o : o+e.vecLen : o+e.vecLen]
+}
+
+// downScaleVec returns the per-pattern log scalers of a node's down vector.
+//
+//cellmg:hotpath
+func (e *Engine) downScaleVec(id int) []float64 {
+	o := id * e.nPat
+	return e.sclDown[o : o+e.nPat : o+e.nPat]
+}
+
+// outVec returns the outer conditional vector of a node.
+//
+//cellmg:hotpath
+func (e *Engine) outVec(id int) []float64 {
+	o := id * e.vecLen
+	return e.clvOut[o : o+e.vecLen : o+e.vecLen]
+}
+
+// outScaleVec returns the per-pattern log scalers of a node's out vector.
+//
+//cellmg:hotpath
+func (e *Engine) outScaleVec(id int) []float64 {
+	o := id * e.nPat
+	return e.sclOut[o : o+e.nPat : o+e.nPat]
+}
+
 func (e *Engine) buildTipVectors() {
-	e.tip = make([][]float64, e.Data.NumTaxa())
-	for taxon := range e.tip {
-		v := make([]float64, e.nPat*e.stride)
+	e.tipBlk = make([]float64, e.Data.NumTaxa()*e.vecLen)
+	for taxon := 0; taxon < e.Data.NumTaxa(); taxon++ {
+		v := e.tipVec(taxon)
 		for i := 0; i < e.nPat; i++ {
 			bits := e.Data.States[taxon][i]
 			for r := 0; r < e.nCat; r++ {
@@ -169,26 +265,47 @@ func (e *Engine) buildTipVectors() {
 				}
 			}
 		}
-		e.tip[taxon] = v
 	}
 }
 
-// ensureBuffers sizes the per-node buffers for the tree.
+// ensureBuffers sizes the per-node SoA blocks for the tree. Growth copies the
+// existing vectors over (the layout is node-major in both blocks), so resizing
+// never invalidates settled state.
 func (e *Engine) ensureBuffers(t *Tree) {
 	n := len(t.Nodes)
-	if len(e.down) >= n && cap(e.siteBuf) >= e.nPat {
+	if n <= e.nodeCap && cap(e.siteBuf) >= e.nPat {
 		return
 	}
-	grow := func(bufs [][]float64, per int) [][]float64 {
-		for len(bufs) < n {
-			bufs = append(bufs, make([]float64, per))
-		}
-		return bufs
+	grow := func(old []float64, per int) []float64 {
+		nb := make([]float64, n*per)
+		copy(nb, old)
+		return nb
 	}
-	e.down = grow(e.down, e.nPat*e.stride)
-	e.downScale = grow(e.downScale, e.nPat)
-	e.out = grow(e.out, e.nPat*e.stride)
-	e.outScale = grow(e.outScale, e.nPat)
+	e.clvDown = grow(e.clvDown, e.vecLen)
+	e.sclDown = grow(e.sclDown, e.nPat)
+	e.clvOut = grow(e.clvOut, e.vecLen)
+	e.sclOut = grow(e.sclOut, e.nPat)
+	growI := func(old []int32, per int) []int32 {
+		nb := make([]int32, n*per)
+		copy(nb, old)
+		return nb
+	}
+	e.repClass = growI(e.repClass, e.nPat)
+	e.repSrc = growI(e.repSrc, e.nPat)
+	e.repUniq = growI(e.repUniq, e.nPat)
+	e.repDup = growI(e.repDup, e.nPat)
+	e.repCnt = append(e.repCnt, make([]int32, n-len(e.repCnt))...)
+	e.repVer = append(e.repVer, make([]uint64, n-len(e.repVer))...)
+	e.repBuiltLV = append(e.repBuiltLV, make([]uint64, n-len(e.repBuiltLV))...)
+	e.repBuiltRV = append(e.repBuiltRV, make([]uint64, n-len(e.repBuiltRV))...)
+	for len(e.repBuiltL) < n {
+		e.repBuiltL = append(e.repBuiltL, -1)
+		e.repBuiltR = append(e.repBuiltR, -1)
+	}
+	if len(e.repFirst) < e.nPat {
+		e.repFirst = make([]int32, e.nPat)
+	}
+	e.nodeCap = n
 	// Size the reduction buffer here, outside any parallel region, so no
 	// work-shared chunk ever observes it growing.
 	if cap(e.siteBuf) < e.nPat {
@@ -202,52 +319,106 @@ func (e *Engine) ensureBuffers(t *Tree) {
 //cellmg:hotpath
 func (e *Engine) childVector(n *Node) ([]float64, []float64) {
 	if n.IsTip() {
-		return e.tip[n.Taxon], nil
+		return e.tipVec(n.Taxon), nil
 	}
-	return e.down[n.ID], e.downScale[n.ID]
+	return e.downVec(n.ID), e.downScaleVec(n.ID)
 }
 
-// newviewArgs is the argument block of the Newview loop body.
+// newviewArgs is the argument block of the Newview loop body. A side is
+// either an inner child (lv/rv + lscale/rscale) or a tip child (lstates +
+// ltab: the per-pattern observed state sets and the lookup table that maps a
+// state set directly to the four per-state sums through the child's
+// transition matrix — the RAxML tip-case specialization, which replaces four
+// dot products with one table row read).
 type newviewArgs struct {
-	lv, rv         []float64 // child conditional vectors
+	lv, rv         []float64 // inner-child conditional vectors (nil for tips)
+	lstates        []uint8   // tip-child observed state sets (nil for inner children)
+	rstates        []uint8
+	ltab, rtab     []float64 // tip lookup tables, nCat*tipStates*NumStates
 	lscale, rscale []float64 // child scaler vectors (nil for tips)
 	pl, pr         []float64 // flattened transition matrices
 	dst, scale     []float64 // destination vectors
+	uniq           []int32   // site-repeat representative patterns (nil: all)
 }
 
 // newviewBody is the per-pattern loop of the newview() kernel: for every
 // pattern and rate category it forms the fused product of the left and right
 // child contributions through the flattened transition matrices. The 4-state
 // inner products are fully unrolled; slices are hoisted per category so the
-// innermost statements are bounds-check-free.
+// innermost statements are bounds-check-free. When a side is a tip, the four
+// inner products collapse to one lookup-table row read. When uniq is non-nil
+// the loop runs over the site-repeat representative list instead of the full
+// pattern range (Newview copies the remaining patterns afterwards).
 //
 //cellmg:hotpath
 func (e *Engine) newviewBody(lo, hi int) {
 	a := &e.nvA
 	lv, rv := a.lv, a.rv
+	lst, rst := a.lstates, a.rstates
+	ltab, rtab := a.ltab, a.rtab
 	pl, pr := a.pl, a.pr
 	dst, scale := a.dst, a.scale
 	lscale, rscale := a.lscale, a.rscale
+	uniq := a.uniq
 	nCat, stride := e.nCat, e.stride
-	for i := lo; i < hi; i++ {
+	for j := lo; j < hi; j++ {
+		i := j
+		if uniq != nil {
+			i = int(uniq[j])
+		}
 		base := i * stride
 		maxV := 0.0
 		for r := 0; r < nCat; r++ {
 			off := base + r*NumStates
 			m := r * flatMatSize
-			pm := pl[m : m+flatMatSize : m+flatMatSize]
-			qm := pr[m : m+flatMatSize : m+flatMatSize]
-			l0, l1, l2, l3 := lv[off], lv[off+1], lv[off+2], lv[off+3]
-			r0, r1, r2, r3 := rv[off], rv[off+1], rv[off+2], rv[off+3]
-			for s := 0; s < NumStates; s++ {
-				k := s * NumStates
-				sumL := pm[k]*l0 + pm[k+1]*l1 + pm[k+2]*l2 + pm[k+3]*l3
-				sumR := qm[k]*r0 + qm[k+1]*r1 + qm[k+2]*r2 + qm[k+3]*r3
-				v := sumL * sumR
-				dst[off+s] = v
-				if v > maxV {
-					maxV = v
-				}
+			var sl0, sl1, sl2, sl3 float64
+			if lst != nil {
+				o := (m + int(lst[i])) * NumStates
+				lt := ltab[o : o+NumStates : o+NumStates]
+				sl0, sl1, sl2, sl3 = lt[0], lt[1], lt[2], lt[3]
+			} else {
+				pm := pl[m : m+flatMatSize : m+flatMatSize]
+				lw := lv[off : off+NumStates : off+NumStates]
+				l0, l1, l2, l3 := lw[0], lw[1], lw[2], lw[3]
+				sl0 = pm[0]*l0 + pm[1]*l1 + pm[2]*l2 + pm[3]*l3
+				sl1 = pm[4]*l0 + pm[5]*l1 + pm[6]*l2 + pm[7]*l3
+				sl2 = pm[8]*l0 + pm[9]*l1 + pm[10]*l2 + pm[11]*l3
+				sl3 = pm[12]*l0 + pm[13]*l1 + pm[14]*l2 + pm[15]*l3
+			}
+			var sr0, sr1, sr2, sr3 float64
+			if rst != nil {
+				o := (m + int(rst[i])) * NumStates
+				rt := rtab[o : o+NumStates : o+NumStates]
+				sr0, sr1, sr2, sr3 = rt[0], rt[1], rt[2], rt[3]
+			} else {
+				qm := pr[m : m+flatMatSize : m+flatMatSize]
+				rw := rv[off : off+NumStates : off+NumStates]
+				r0, r1, r2, r3 := rw[0], rw[1], rw[2], rw[3]
+				sr0 = qm[0]*r0 + qm[1]*r1 + qm[2]*r2 + qm[3]*r3
+				sr1 = qm[4]*r0 + qm[5]*r1 + qm[6]*r2 + qm[7]*r3
+				sr2 = qm[8]*r0 + qm[9]*r1 + qm[10]*r2 + qm[11]*r3
+				sr3 = qm[12]*r0 + qm[13]*r1 + qm[14]*r2 + qm[15]*r3
+			}
+			d := dst[off : off+NumStates : off+NumStates]
+			v0 := sl0 * sr0
+			d[0] = v0
+			if v0 > maxV {
+				maxV = v0
+			}
+			v1 := sl1 * sr1
+			d[1] = v1
+			if v1 > maxV {
+				maxV = v1
+			}
+			v2 := sl2 * sr2
+			d[2] = v2
+			if v2 > maxV {
+				maxV = v2
+			}
+			v3 := sl3 * sr3
+			d[3] = v3
+			if v3 > maxV {
+				maxV = v3
 			}
 		}
 		sc := 0.0
@@ -269,9 +440,38 @@ func (e *Engine) newviewBody(lo, hi int) {
 	}
 }
 
+// fillTipTable expands the flattened transition matrices p into the tip
+// lookup table dst: for every rate category, observed state set and target
+// state s, the sum over the set's member states j of P[s][j]. Summation runs
+// in ascending j, matching the term order of the inner-child dot product.
+//
+//cellmg:hotpath
+func (e *Engine) fillTipTable(dst, p []float64) {
+	nCat := e.nCat
+	for r := 0; r < nCat; r++ {
+		m := r * flatMatSize
+		pm := p[m : m+flatMatSize : m+flatMatSize]
+		for bits := 0; bits < tipStates; bits++ {
+			o := (m + bits) * NumStates
+			for s := 0; s < NumStates; s++ {
+				k := s * NumStates
+				var sum float64
+				for j := 0; j < NumStates; j++ {
+					if bits&(1<<uint(j)) != 0 {
+						sum += pm[k+j]
+					}
+				}
+				dst[o+s] = sum
+			}
+		}
+	}
+}
+
 // Newview computes the conditional likelihood vector of an internal node from
 // its two children — the paper's newview() kernel. The children's vectors
-// must already be up to date.
+// must already be up to date. With site repeats on, only the representative
+// pattern of each repeat class runs through the loop body; the rest are
+// copied (siterepeats.go).
 //
 //cellmg:hotpath
 func (e *Engine) Newview(n *Node) {
@@ -281,12 +481,33 @@ func (e *Engine) Newview(n *Node) {
 	e.Stats.NewviewCalls++
 	left, right := n.Children[0], n.Children[1]
 	a := &e.nvA
-	a.lv, a.lscale = e.childVector(left)
-	a.rv, a.rscale = e.childVector(right)
 	a.pl = e.transitionFlat(left.Length, 0)
 	a.pr = e.transitionFlat(right.Length, 1)
-	a.dst = e.down[n.ID]
-	a.scale = e.downScale[n.ID]
+	if left.IsTip() {
+		e.fillTipTable(e.tipTab[0], a.pl)
+		a.lstates, a.ltab = e.Data.States[left.Taxon], e.tipTab[0]
+		a.lv, a.lscale = nil, nil
+	} else {
+		a.lstates, a.ltab = nil, nil
+		a.lv = e.downVec(left.ID)
+		a.lscale = e.downScaleVec(left.ID)
+	}
+	if right.IsTip() {
+		e.fillTipTable(e.tipTab[1], a.pr)
+		a.rstates, a.rtab = e.Data.States[right.Taxon], e.tipTab[1]
+		a.rv, a.rscale = nil, nil
+	} else {
+		a.rstates, a.rtab = nil, nil
+		a.rv = e.downVec(right.ID)
+		a.rscale = e.downScaleVec(right.ID)
+	}
+	a.dst = e.downVec(n.ID)
+	a.scale = e.downScaleVec(n.ID)
+	a.uniq = nil
+	if e.repOn && e.lastTree != nil {
+		e.newviewRepeats(n)
+		return
+	}
 	e.par(e.nPat, e.nvFn)
 }
 
@@ -395,8 +616,8 @@ func (e *Engine) computeOutNode(u *Node) {
 	// once (the per-sibling matrices cycle through slot 0 inside the loop).
 	if u.Parent != nil {
 		a.pup = e.transitionFlat(u.Length, 1)
-		a.uv = e.out[u.ID]
-		a.uscale = e.outScale[u.ID]
+		a.uv = e.outVec(u.ID)
+		a.uscale = e.outScaleVec(u.ID)
 	} else {
 		a.pup = nil
 		a.uv = nil
@@ -406,8 +627,8 @@ func (e *Engine) computeOutNode(u *Node) {
 		sib := v.Sibling()
 		a.sv, a.sscale = e.childVector(sib)
 		a.psib = e.transitionFlat(sib.Length, 0)
-		a.dst = e.out[v.ID]
-		a.scale = e.outScale[v.ID]
+		a.dst = e.outVec(v.ID)
+		a.scale = e.outScaleVec(v.ID)
 		e.par(e.nPat, e.outFn)
 		e.outEpoch[v.ID] = e.treeEpoch
 	}
@@ -480,8 +701,8 @@ func (e *Engine) evaluateAtRoot(t *Tree) float64 {
 	e.Stats.EvaluateCalls++
 	root := t.Root
 	a := &e.evalA
-	a.rootVec = e.down[root.ID]
-	a.rootScale = e.downScale[root.ID]
+	a.rootVec = e.downVec(root.ID)
+	a.rootScale = e.downScaleVec(root.ID)
 	a.freqs = e.Model.Frequencies()
 	a.catWeight = 1.0 / float64(e.nCat)
 
@@ -524,8 +745,8 @@ func (e *Engine) LogLikelihood(t *Tree) float64 {
 //cellmg:hotpath
 func (e *Engine) edgeDerivatives(v *Node, b float64) (ll, d1, d2 float64) {
 	dv, dscale := e.childVector(v)
-	ov := e.out[v.ID]
-	oscale := e.outScale[v.ID]
+	ov := e.outVec(v.ID)
+	oscale := e.outScaleVec(v.ID)
 	weights := e.Data.Weights
 	catWeight := 1.0 / float64(e.nCat)
 	d := e.transitionDerivFlat(b)
@@ -662,7 +883,9 @@ func (e *Engine) OptimizeAllBranches(t *Tree, rounds int) float64 {
 // optimizeAllBranches additionally reports whether the smoothing converged
 // (a full round changed no length materially) rather than stopping at the
 // rounds cap while still improving — the search uses this to decide whether
-// a final smoothing pass would repeat work or continue it.
+// a final smoothing pass would repeat work or continue it. The edge sweep
+// iterates t.Nodes directly (the same order Tree.Edges returns) so a
+// smoothing round allocates nothing.
 func (e *Engine) optimizeAllBranches(t *Tree, rounds int) (float64, bool) {
 	if rounds <= 0 {
 		rounds = 1
@@ -670,7 +893,10 @@ func (e *Engine) optimizeAllBranches(t *Tree, rounds int) (float64, bool) {
 	converged := false
 	for round := 0; round < rounds; round++ {
 		changed := false
-		for _, v := range t.Edges() {
+		for _, v := range t.Nodes {
+			if v.Parent == nil {
+				continue
+			}
 			if e.optimizeEdge(t, v) {
 				changed = true
 			}

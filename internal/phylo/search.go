@@ -109,19 +109,138 @@ func (e *Engine) SearchFrom(tree *Tree, opts SearchOptions) (*SearchResult, erro
 
 // SearchFromContext is SearchFrom with cancellation (see SearchContext).
 func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchOptions) (*SearchResult, error) {
+	res := &SearchResult{}
+	if err := e.SearchInto(ctx, tree, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// snapshotLengths copies the branch lengths of the given edge nodes into the
+// engine's search scratch. A rejected rearrangement must leave no trace: the
+// candidate evaluation re-optimizes branch lengths, and keeping those for a
+// reverted topology would poison subsequent comparisons. Only the branches
+// the evaluation actually touches are snapshotted — the local neighborhood in
+// the incremental mode, every edge under FullRefresh — into buffers reused
+// across all moves of the whole search.
+func (e *Engine) snapshotLengths(nodes []*Node) {
+	e.savedNodes = append(e.savedNodes[:0], nodes...)
+	e.savedLens = e.savedLens[:0]
+	for _, n := range nodes {
+		e.savedLens = append(e.savedLens, n.Length)
+	}
+}
+
+// restoreLengths undoes the length changes recorded by snapshotLengths.
+func (e *Engine) restoreLengths() {
+	for i, n := range e.savedNodes {
+		n.Length = e.savedLens[i]
+		e.InvalidateEdge(n)
+	}
+}
+
+// reportProgress invokes the Progress callback, if any.
+func reportProgress(opts *SearchOptions, res *SearchResult, best float64) {
+	if opts.Progress == nil {
+		return
+	}
+	opts.Progress(SearchProgress{
+		Round:         res.Rounds,
+		MaxRounds:     opts.MaxRounds,
+		LogLikelihood: best,
+		NNIEvaluated:  res.NNIEvaluated,
+		NNIAccepted:   res.NNIAccepted,
+	})
+}
+
+// validateTree checks the same structural invariants as Tree.Validate using
+// engine-owned, generation-stamped scratch, so the check at the top of every
+// search costs no allocation (Tree.Validate builds a map and a recursive
+// closure per call — one of the hidden per-search allocation sites this
+// engine-side variant exists to remove).
+func (e *Engine) validateTree(t *Tree) error {
+	if t.Root == nil {
+		return fmt.Errorf("phylo: tree has no root")
+	}
+	if t.Root.Parent != nil {
+		return fmt.Errorf("phylo: root has a parent")
+	}
+	if len(e.valSeen) < len(t.Taxa) {
+		e.valSeen = make([]uint64, len(t.Taxa))
+	}
+	e.valGen++
+	gen := e.valGen
+	stack := e.valStack[:0]
+	stack = append(stack, t.Root)
+	visited, tips := 0, 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visited++
+		if n.IsTip() {
+			if n.Name == "" {
+				e.valStack = stack[:0]
+				return fmt.Errorf("phylo: tip %d has no name", n.ID)
+			}
+			if n.Taxon < 0 || n.Taxon >= len(t.Taxa) {
+				e.valStack = stack[:0]
+				return fmt.Errorf("phylo: tip %q has taxon index %d outside [0,%d)", n.Name, n.Taxon, len(t.Taxa))
+			}
+			if e.valSeen[n.Taxon] == gen {
+				e.valStack = stack[:0]
+				return fmt.Errorf("phylo: taxon %q appears twice", n.Name)
+			}
+			e.valSeen[n.Taxon] = gen
+			tips++
+			continue
+		}
+		if len(n.Children) != 2 {
+			e.valStack = stack[:0]
+			return fmt.Errorf("phylo: internal node %d has %d children, want 2", n.ID, len(n.Children))
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				e.valStack = stack[:0]
+				return fmt.Errorf("phylo: node %d has a child with a mismatched parent pointer", n.ID)
+			}
+			if c.Length < 0 {
+				e.valStack = stack[:0]
+				return fmt.Errorf("phylo: negative branch length on node %d", c.ID)
+			}
+			stack = append(stack, c)
+		}
+	}
+	e.valStack = stack[:0]
+	if tips != len(t.Taxa) {
+		return fmt.Errorf("phylo: tree covers %d taxa, want %d", tips, len(t.Taxa))
+	}
+	if visited != len(t.Nodes) {
+		return fmt.Errorf("phylo: %d nodes reachable from the root, %d allocated", visited, len(t.Nodes))
+	}
+	return nil
+}
+
+// SearchInto is SearchFromContext writing into a caller-provided result: the
+// allocation-free form of the search. Every piece of per-move and per-sweep
+// scratch — candidate length snapshots, the move list, the local edge sets,
+// traversal stacks, validation marks — lives on the engine and is reused, so
+// a steady-state search (warm transition cache, settled scratch capacities)
+// performs zero heap allocations; alloc_test.go pins that with an
+// AllocsPerRun guard. res is fully overwritten.
+func (e *Engine) SearchInto(ctx context.Context, tree *Tree, opts SearchOptions, res *SearchResult) error {
 	if opts.SmoothingRounds <= 0 {
 		opts.SmoothingRounds = 1
 	}
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 1
 	}
-	if err := tree.Validate(); err != nil {
-		return nil, fmt.Errorf("phylo: invalid starting tree: %v", err)
+	if err := e.validateTree(tree); err != nil {
+		return fmt.Errorf("phylo: invalid starting tree: %v", err)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	res := &SearchResult{Tree: tree}
+	*res = SearchResult{Tree: tree}
 	// smoothConverged tracks whether the tree currently sits in the state of
 	// a *converged* full smoothing pass (as opposed to one stopped at the
 	// SmoothingRounds cap while still improving); rejected candidates are
@@ -129,50 +248,16 @@ func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchO
 	// themselves change it.
 	best, smoothConverged := e.optimizeAllBranches(tree, opts.SmoothingRounds)
 	res.StartLogLik = best
-
-	report := func(round int) {
-		if opts.Progress != nil {
-			opts.Progress(SearchProgress{
-				Round:         round,
-				MaxRounds:     opts.MaxRounds,
-				LogLikelihood: best,
-				NNIEvaluated:  res.NNIEvaluated,
-				NNIAccepted:   res.NNIAccepted,
-			})
-		}
-	}
-	report(0)
-
-	// A rejected rearrangement must leave no trace: the candidate evaluation
-	// re-optimizes branch lengths, and keeping those for a reverted topology
-	// would poison subsequent comparisons. Only the branches the evaluation
-	// actually touched are snapshotted — the local neighborhood in the
-	// incremental mode, every edge under FullRefresh — into scratch buffers
-	// reused across all moves of the whole search (no per-candidate
-	// allocation).
-	var savedNodes []*Node
-	var savedLens []float64
-	snapshot := func(nodes []*Node) {
-		savedNodes = append(savedNodes[:0], nodes...)
-		savedLens = savedLens[:0]
-		for _, n := range nodes {
-			savedLens = append(savedLens, n.Length)
-		}
-	}
-	restore := func() {
-		for i, n := range savedNodes {
-			n.Length = savedLens[i]
-			e.InvalidateEdge(n)
-		}
-	}
+	reportProgress(&opts, res, best)
 
 	lastSweepImproved := false
 	for round := 0; round < opts.MaxRounds; round++ {
 		res.Rounds++
 		improvedThisRound := false
-		for _, move := range tree.NNIMoves() {
+		e.movesBuf = tree.AppendNNIMoves(e.movesBuf[:0])
+		for _, move := range e.movesBuf {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			res.NNIEvaluated++
 			move.Apply()
@@ -182,14 +267,14 @@ func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchO
 			// branch lengths converge.
 			var candidate float64
 			if opts.FullRefresh {
-				snapshot(tree.Nodes)
+				e.snapshotLengths(tree.Nodes)
 				candidate = e.OptimizeAllBranches(tree, opts.SmoothingRounds)
 			} else {
 				// Local re-optimization: the move only perturbed a
 				// constant-size neighborhood, so re-optimizing the branches
 				// around the rearranged edge is enough to score it.
-				snapshot(e.collectLocalEdges(tree, move.Edge, nniRadius))
-				candidate = e.optimizeEdges(tree, savedNodes, opts.SmoothingRounds)
+				e.snapshotLengths(e.collectLocalEdges(tree, move.Edge, nniRadius))
+				candidate = e.optimizeEdges(tree, e.savedNodes, opts.SmoothingRounds)
 			}
 			if candidate > best+opts.Epsilon {
 				best = candidate
@@ -198,7 +283,7 @@ func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchO
 			} else {
 				move.Apply() // revert the topology...
 				e.InvalidateNode(move.Edge)
-				restore()
+				e.restoreLengths()
 			}
 		}
 		if improvedThisRound && !opts.FullRefresh {
@@ -209,7 +294,7 @@ func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchO
 			// rather than once per accepted move.
 			best, smoothConverged = e.optimizeAllBranches(tree, opts.SmoothingRounds)
 		}
-		report(res.Rounds)
+		reportProgress(&opts, res, best)
 		lastSweepImproved = improvedThisRound
 		if !improvedThisRound {
 			break
@@ -227,5 +312,5 @@ func (e *Engine) SearchFromContext(ctx context.Context, tree *Tree, opts SearchO
 		best = e.OptimizeAllBranches(tree, opts.SmoothingRounds)
 	}
 	res.LogLikelihood = best
-	return res, nil
+	return nil
 }

@@ -1,0 +1,229 @@
+//cellmg:deterministic
+package phylo
+
+// This file implements site-repeat compression: alignment patterns whose data
+// is identical across every tip of a node's subtree have, by induction,
+// bit-identical conditional likelihood vectors at that node under ANY branch
+// lengths — so only one representative per repeat class needs to run through
+// the Newview loop body; the rest are vector copies. This is the technique
+// behind RAxML-NG's speedups over the paper's RAxML baseline (Kobert et al.),
+// and it composes with pattern compression: Compress dedupes globally
+// identical columns, repeats dedupe columns identical only within a subtree.
+//
+// Per internal node the engine keeps a class id per pattern (repClass). Two
+// patterns are in the same class iff their (left class, right class) pairs
+// match; a tip's class is its 4-bit observed state set, so the base case and
+// the inductive step both hold exactly — equal class implies equal kernel
+// inputs implies bit-identical output, including the underflow-rescaling
+// decisions. That makes the compressed evaluation byte-identical to the
+// uncompressed one (property-tested in incremental_test.go).
+//
+// Invalidation rule: class vectors depend only on subtree COMPOSITION, never
+// on branch lengths. InvalidateEdge therefore leaves them untouched, while
+// InvalidateNode (an NNI changed which tips sit below the path nodes) and the
+// full invalidations mark the ancestor path repeat-dirty alongside the usual
+// down-dirty marking (incremental.go). Newview rebuilds a node's classes
+// lazily, right before using them.
+//
+// All bookkeeping lives in flat engine-owned blocks (ensureBuffers) and the
+// pair table is generation-stamped, so steady-state searches rebuild classes
+// without allocating.
+
+// SetSiteRepeats toggles site-repeat compression. Engines default to on;
+// turning it off forces every pattern through the kernel loop (the reference
+// path the equivalence tests compare against). The compressed path
+// materializes full vectors, so turning repeats OFF needs no invalidation.
+// Turning them back ON discards all class state and forces a bottom-up
+// rebuild: class maintenance was suspended while off, so the version stamps
+// that normally certify classes as current can no longer be trusted.
+func (e *Engine) SetSiteRepeats(on bool) {
+	if e.repOn == on {
+		return
+	}
+	e.repOn = on
+	if on && e.lastTree != nil {
+		for i := range e.repDirty {
+			e.repDirty[i] = true
+			e.repBuiltL[i] = -1
+			e.repBuiltR[i] = -1
+		}
+		// The rebuild must run bottom-up over the whole tree (a parent's
+		// classes read its children's), so the next traversal may not skip
+		// clean subtrees.
+		e.InvalidateAll()
+	}
+}
+
+// SiteRepeatsEnabled reports whether site-repeat compression is on.
+func (e *Engine) SiteRepeatsEnabled() bool { return e.repOn }
+
+// repClassVec returns the class-id vector of an internal node.
+//
+//cellmg:hotpath
+func (e *Engine) repClassVec(id int) []int32 {
+	o := id * e.nPat
+	return e.repClass[o : o+e.nPat : o+e.nPat]
+}
+
+// repSrcVec returns the representative-pattern vector of an internal node.
+//
+//cellmg:hotpath
+func (e *Engine) repSrcVec(id int) []int32 {
+	o := id * e.nPat
+	return e.repSrc[o : o+e.nPat : o+e.nPat]
+}
+
+// childClasses returns the class description of a node viewed as a child:
+// either its class-id vector (internal node) or its observed state sets (tip,
+// where the 4-bit set IS the class), plus the number of distinct classes.
+func (e *Engine) childClasses(n *Node) (cls []int32, states []uint8, count int) {
+	if n.IsTip() {
+		return nil, e.Data.States[n.Taxon], tipStates
+	}
+	return e.repClassVec(n.ID), nil, int(e.repCnt[n.ID])
+}
+
+// rebuildClasses recomputes the repeat classes of n from its children's
+// classes. Class ids are assigned in first-occurrence pattern order, so the
+// result is deterministic. The dense pair table maps (left class, right
+// class) to the class id; it is generation-stamped so reuse across nodes
+// costs no clearing.
+//
+//cellmg:hotpath-safe -- allocates only when the pair-table scratch grows; steady state guarded by alloc_test.go
+func (e *Engine) rebuildClasses(n *Node) {
+	lcls, lst, lcnt := e.childClasses(n.Children[0])
+	rcls, rst, rcnt := e.childClasses(n.Children[1])
+	need := lcnt * rcnt
+	if cap(e.pairTab) < need {
+		e.pairTab = make([]int32, need)
+		e.pairGen = make([]uint32, need)
+	}
+	tab := e.pairTab[:need]
+	gen := e.pairGen[:need]
+	e.pairCur++
+	if e.pairCur == 0 { // generation counter wrapped: stamps are ambiguous
+		clear(e.pairGen)
+		e.pairCur = 1
+	}
+	g := e.pairCur
+	id := n.ID
+	cls := e.repClassVec(id)
+	src := e.repSrcVec(id)
+	uniq := e.repUniq[id*e.nPat : (id+1)*e.nPat]
+	dup := e.repDup[id*e.nPat : (id+1)*e.nPat]
+	first := e.repFirst
+	cnt := int32(0)
+	ndup := 0
+	for i := 0; i < e.nPat; i++ {
+		var lc, rc int
+		if lst != nil {
+			lc = int(lst[i])
+		} else {
+			lc = int(lcls[i])
+		}
+		if rst != nil {
+			rc = int(rst[i])
+		} else {
+			rc = int(rcls[i])
+		}
+		key := lc*rcnt + rc
+		if gen[key] != g {
+			gen[key] = g
+			tab[key] = cnt
+			first[cnt] = int32(i)
+			uniq[cnt] = int32(i)
+			cnt++
+		} else {
+			dup[ndup] = int32(i)
+			ndup++
+		}
+		c := tab[key]
+		cls[i] = c
+		src[i] = first[c]
+	}
+	e.repCnt[id] = cnt
+}
+
+// repCopy materializes the full destination vector from the representatives:
+// every duplicate pattern copies the conditional vector and scaler of its
+// class representative, walking the duplicate list built by rebuildClasses
+// (cost proportional to the copies actually made, not to nPat). Runs serially
+// after the parallel kernel pass (representative slots are disjoint, copies
+// read settled data).
+//
+//cellmg:hotpath
+func (e *Engine) repCopy(n *Node) {
+	a := &e.nvA
+	dst, scale := a.dst, a.scale
+	id := n.ID
+	src := e.repSrcVec(id)
+	ndup := e.nPat - int(e.repCnt[id])
+	dup := e.repDup[id*e.nPat : id*e.nPat+ndup]
+	stride := e.stride
+	if stride == NumStates {
+		// Single rate category: 4 scalar moves beat a memmove call.
+		for _, di := range dup {
+			i := int(di)
+			si := int(src[i])
+			d := dst[i*NumStates : i*NumStates+NumStates : i*NumStates+NumStates]
+			s := dst[si*NumStates : si*NumStates+NumStates : si*NumStates+NumStates]
+			d[0], d[1], d[2], d[3] = s[0], s[1], s[2], s[3]
+			scale[i] = scale[si]
+		}
+	} else {
+		for _, di := range dup {
+			i := int(di)
+			si := int(src[i])
+			copy(dst[i*stride:(i+1)*stride], dst[si*stride:(si+1)*stride])
+			scale[i] = scale[si]
+		}
+	}
+	e.Stats.RepeatsCopied += ndup
+}
+
+// newviewRepeats is the site-repeat path of Newview: rebuild n's classes if
+// its subtree composition changed, run the kernel over the representative
+// patterns only, then copy the duplicates. When every pattern is its own
+// class (near the root of diverse data) the plain full-range kernel runs.
+//
+// A repeat-dirty mark means the classes are POSSIBLY stale (the invalidation
+// paths mark conservatively — InvalidateAll cannot know whether the caller
+// changed the topology). The classes are a pure function of the children's
+// identities and class vectors, so the rebuild is skipped when the child IDs
+// and child class versions match the ones the classes were last built from;
+// rebuilding bumps this node's version, which transitively triggers the
+// ancestors' rebuilds. A full invalidation on an unchanged topology therefore
+// re-verifies every node in O(1) instead of re-deriving classes in O(nPat).
+//
+//cellmg:hotpath
+func (e *Engine) newviewRepeats(n *Node) {
+	id := n.ID
+	if e.repDirty[id] {
+		l, r := n.Children[0], n.Children[1]
+		var lv, rv uint64
+		if !l.IsTip() {
+			lv = e.repVer[l.ID]
+		}
+		if !r.IsTip() {
+			rv = e.repVer[r.ID]
+		}
+		if int32(l.ID) != e.repBuiltL[id] || int32(r.ID) != e.repBuiltR[id] ||
+			lv != e.repBuiltLV[id] || rv != e.repBuiltRV[id] {
+			e.rebuildClasses(n)
+			e.repVer[id]++
+			e.repBuiltL[id], e.repBuiltR[id] = int32(l.ID), int32(r.ID)
+			e.repBuiltLV[id], e.repBuiltRV[id] = lv, rv
+		}
+		e.repDirty[id] = false
+	}
+	cnt := int(e.repCnt[id])
+	a := &e.nvA
+	if cnt >= e.nPat {
+		e.par(e.nPat, e.nvFn)
+		return
+	}
+	a.uniq = e.repUniq[id*e.nPat : id*e.nPat+cnt]
+	e.par(cnt, e.nvFn)
+	a.uniq = nil
+	e.repCopy(n)
+}

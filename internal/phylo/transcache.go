@@ -17,6 +17,18 @@ package phylo
 // The flat layout is what the stride-indexed kernels in likelihood.go index
 // directly, with no [4][4] double indirection.
 //
+// Storage: entry vectors are carved from a double-buffered slab (transSlab)
+// instead of being allocated per miss. Hitting the maxCacheEntries bound
+// clears the map (clear keeps the buckets, so refilling to the previous size
+// never grows them) and swaps the slab's arena sets, so all retired entries
+// become reusable at once while the handful of entry slices a kernel is
+// holding across the clear (Newview's left/right matrices, Makenewz's
+// derivative triple) stay valid — they live in the other arena set, which is
+// not carved again until the NEXT overflow, thousands of inserts away. The
+// result: a search whose length stream replays (the steady state of the
+// benchmark and alloc-guard loops) allocates nothing, no matter how many
+// overflow cycles it goes through.
+//
 // Invalidation: a branch length is the key, so changing a length simply stops
 // hitting its old entry — no explicit invalidation is needed for branch
 // optimization. Mutating the Model or Rates in place is the only operation
@@ -32,31 +44,67 @@ const flatMatSize = NumStates * NumStates
 // 2 MB per cache.
 const maxCacheEntries = 4096
 
+// slabBlockEntries is the number of entries each slab arena block holds.
+// Blocks are allocated on demand up to the high-water mark of one overflow
+// cycle, so a lightly used engine stays small.
+const slabBlockEntries = 256
+
+// transSlab carves fixed-size []float64 entries out of block arenas. It keeps
+// two arena sets and swap flips between them, so entries handed out just
+// before a swap survive until the following swap (see the file comment for
+// why that is safe here).
+type transSlab struct {
+	entry  int // floats per entry
+	blocks [2][][]float64
+	active int
+	used   int // entries carved from the active set
+}
+
+// alloc carves the next entry, growing the active arena set only past its
+// high-water mark.
+func (s *transSlab) alloc() []float64 {
+	bi := s.used / slabBlockEntries
+	off := (s.used % slabBlockEntries) * s.entry
+	for bi >= len(s.blocks[s.active]) {
+		s.blocks[s.active] = append(s.blocks[s.active], make([]float64, slabBlockEntries*s.entry))
+	}
+	s.used++
+	b := s.blocks[s.active][bi]
+	return b[off : off+s.entry : off+s.entry]
+}
+
+// swap retires the active arena set and starts carving the other one from the
+// top. Previously carved entries keep their contents until the set they live
+// in becomes active again.
+func (s *transSlab) swap() {
+	s.active ^= 1
+	s.used = 0
+}
+
 // derivTriple holds P(b), dP/db and d²P/db² for every rate category, in the
 // same flattened layout the kernels use. The chain-rule factors (rate, rate²)
 // are already folded in, so dp/d2p are derivatives with respect to the branch
-// length b itself.
+// length b itself. It is a value type: the cache map stores the three slice
+// headers inline, so a miss costs three slab carves and no box allocation.
 type derivTriple struct {
 	p, dp, d2p []float64
 }
 
-func newDerivTriple(nCat int) *derivTriple {
-	return &derivTriple{
-		p:   make([]float64, nCat*flatMatSize),
-		dp:  make([]float64, nCat*flatMatSize),
-		d2p: make([]float64, nCat*flatMatSize),
-	}
-}
-
-// initCache sets up the cache maps and the scratch buffers used when the
-// cache is disabled.
+// initCache sets up the cache maps, the entry slabs and the scratch buffers
+// used when the cache is disabled.
 func (e *Engine) initCache() {
 	e.cacheOn = true
 	e.probs = make(map[float64][]float64)
-	e.derivs = make(map[float64]*derivTriple)
+	e.derivs = make(map[float64]derivTriple)
+	e.probSlab = transSlab{entry: e.nCat * flatMatSize}
+	e.derivSlab = transSlab{entry: e.nCat * flatMatSize}
 	e.transScratch[0] = make([]float64, e.nCat*flatMatSize)
 	e.transScratch[1] = make([]float64, e.nCat*flatMatSize)
-	e.derivScratch = newDerivTriple(e.nCat)
+	e.derivScratch = derivTriple{
+		p:   make([]float64, e.nCat*flatMatSize),
+		dp:  make([]float64, e.nCat*flatMatSize),
+		d2p: make([]float64, e.nCat*flatMatSize),
+	}
 }
 
 // SetTransitionCache toggles the transition-matrix cache. Disabling it forces
@@ -80,6 +128,8 @@ func (e *Engine) SetTransitionCache(on bool) {
 func (e *Engine) InvalidateTransitions() {
 	clear(e.probs)
 	clear(e.derivs)
+	e.probSlab.swap()
+	e.derivSlab.swap()
 	e.InvalidateAll()
 }
 
@@ -103,12 +153,13 @@ func (e *Engine) fillTransition(dst []float64, b float64) {
 
 // transitionFlat returns the flattened per-category transition matrices for a
 // branch of length b. With the cache on, repeat lookups for the same length
-// are free and allocation only happens on a miss; with the cache off, the
-// matrices are recomputed into the engine-owned scratch buffer for the given
-// slot (two slots exist so Newview can hold its left and right matrices at
-// the same time).
+// are free and a miss carves its entry from the slab (allocating only past
+// the slab's high-water mark); with the cache off, the matrices are
+// recomputed into the engine-owned scratch buffer for the given slot (two
+// slots exist so Newview can hold its left and right matrices at the same
+// time).
 //
-//cellmg:hotpath-safe -- allocates only on a cold cache miss; steady state guarded by alloc_test.go
+//cellmg:hotpath-safe -- allocates only while the cache slab grows cold; steady state guarded by alloc_test.go
 func (e *Engine) transitionFlat(b float64, slot int) []float64 {
 	if e.cacheOn {
 		if p, ok := e.probs[b]; ok {
@@ -116,8 +167,9 @@ func (e *Engine) transitionFlat(b float64, slot int) []float64 {
 		}
 		if len(e.probs) >= maxCacheEntries {
 			clear(e.probs)
+			e.probSlab.swap()
 		}
-		p := make([]float64, e.nCat*flatMatSize)
+		p := e.probSlab.alloc()
 		e.fillTransition(p, b)
 		e.probs[b] = p
 		return p
@@ -149,20 +201,21 @@ func (e *Engine) fillTransitionDeriv(d *derivTriple, b float64) {
 // Newton iterations of Makenewz revisit the same branch lengths, so in steady
 // state every lookup hits.
 //
-//cellmg:hotpath-safe -- allocates only on a cold cache miss; steady state guarded by alloc_test.go
-func (e *Engine) transitionDerivFlat(b float64) *derivTriple {
+//cellmg:hotpath-safe -- allocates only while the cache slab grows cold; steady state guarded by alloc_test.go
+func (e *Engine) transitionDerivFlat(b float64) derivTriple {
 	if e.cacheOn {
 		if d, ok := e.derivs[b]; ok {
 			return d
 		}
 		if len(e.derivs) >= maxCacheEntries {
 			clear(e.derivs)
+			e.derivSlab.swap()
 		}
-		d := newDerivTriple(e.nCat)
-		e.fillTransitionDeriv(d, b)
+		d := derivTriple{p: e.derivSlab.alloc(), dp: e.derivSlab.alloc(), d2p: e.derivSlab.alloc()}
+		e.fillTransitionDeriv(&d, b)
 		e.derivs[b] = d
 		return d
 	}
-	e.fillTransitionDeriv(e.derivScratch, b)
+	e.fillTransitionDeriv(&e.derivScratch, b)
 	return e.derivScratch
 }

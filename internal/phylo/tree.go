@@ -466,11 +466,86 @@ type NNIMove struct {
 
 // NNIMoves enumerates both NNI rearrangements around every internal edge.
 func (t *Tree) NNIMoves() []NNIMove {
-	var moves []NNIMove
-	for _, e := range t.InternalEdges() {
-		moves = append(moves, NNIMove{Edge: e, ChildIndex: 0}, NNIMove{Edge: e, ChildIndex: 1})
+	return t.AppendNNIMoves(nil)
+}
+
+// AppendNNIMoves appends both NNI rearrangements around every internal edge
+// to buf and returns it — the allocation-free form of NNIMoves for callers
+// (the search) that reuse a buffer across sweeps. The enumeration order
+// matches NNIMoves (Tree.Nodes order).
+func (t *Tree) AppendNNIMoves(buf []NNIMove) []NNIMove {
+	for _, n := range t.Nodes {
+		if n.Parent != nil && !n.IsTip() && n.Parent != t.Root {
+			buf = append(buf, NNIMove{Edge: n, ChildIndex: 0}, NNIMove{Edge: n, ChildIndex: 1})
+		}
 	}
-	return moves
+	return buf
+}
+
+// TreeSnapshot is a compact, ID-indexed record of a tree's topology and
+// branch lengths, restorable in place. Because every topology operation in
+// this package (NNI rearrangement, branch optimization) preserves each node's
+// arity, Restore only reassigns parent pointers, child slots and lengths — it
+// allocates nothing and reuses the tree's existing Node objects. Benchmarks
+// use it to reset a tree between search iterations without rebuilding it.
+type TreeSnapshot struct {
+	parent []int32 // per node ID; -1 for the root
+	child  []int32 // two entries per node ID; -1 for tips
+	length []float64
+	root   int32
+}
+
+// CaptureTopology records the tree's current topology and branch lengths.
+// The returned snapshot stays valid as long as the tree keeps the same node
+// set (IDs are stable across rearrangements).
+func (t *Tree) CaptureTopology() *TreeSnapshot {
+	n := len(t.Nodes)
+	s := &TreeSnapshot{
+		parent: make([]int32, n),
+		child:  make([]int32, 2*n),
+		length: make([]float64, n),
+		root:   int32(t.Root.ID),
+	}
+	for i, v := range t.Nodes {
+		if v.Parent != nil {
+			s.parent[i] = int32(v.Parent.ID)
+		} else {
+			s.parent[i] = -1
+		}
+		s.child[2*i] = -1
+		s.child[2*i+1] = -1
+		for j, c := range v.Children {
+			s.child[2*i+j] = int32(c.ID)
+		}
+		s.length[i] = v.Length
+	}
+	return s
+}
+
+// Restore rewrites the tree's parent/child pointers and branch lengths to the
+// snapshotted state. The tree must have the node set the snapshot was taken
+// from (same count, same IDs, same arities).
+func (s *TreeSnapshot) Restore(t *Tree) error {
+	if len(t.Nodes) != len(s.parent) {
+		return fmt.Errorf("phylo: snapshot covers %d nodes, tree has %d", len(s.parent), len(t.Nodes))
+	}
+	for i, v := range t.Nodes {
+		if p := s.parent[i]; p >= 0 {
+			v.Parent = t.Nodes[p]
+		} else {
+			v.Parent = nil
+		}
+		for j := range v.Children {
+			c := s.child[2*i+j]
+			if c < 0 {
+				return fmt.Errorf("phylo: snapshot arity mismatch at node %d", i)
+			}
+			v.Children[j] = t.Nodes[c]
+		}
+		v.Length = s.length[i]
+	}
+	t.Root = t.Nodes[s.root]
+	return nil
 }
 
 // Apply performs the rearrangement. Applying the same move again undoes it.
