@@ -5,8 +5,14 @@
 // uploads the file as an artifact; the repository commits the snapshot for
 // the current PR (BENCH_PR<N>.json).
 //
-//	go run ./cmd/benchreport -tag PR8            # writes BENCH_PR8.json
+//	go run ./cmd/benchreport -tag PR9            # writes BENCH_PR9.json
 //	go run ./cmd/benchreport -out some/path.json # explicit destination
+//	go run ./cmd/benchreport -diff BENCH_PR8.json BENCH_PR9.json
+//
+// The -diff mode compares two committed reports benchmark by benchmark
+// (ns/op with relative change, allocs/op when nonzero) and flags entries
+// that appear in only one of them, so a PR's performance claim can be
+// checked against the previous record with one command.
 //
 // The benchmarks — fixtures and timed loop bodies alike — come from
 // internal/benchfix and are the same functions internal/phylo/bench_test.go
@@ -38,6 +44,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"text/tabwriter"
 
 	"cellmg/internal/benchfix"
 	"cellmg/internal/phylo"
@@ -102,10 +109,75 @@ func fatalIf(err error) {
 	}
 }
 
+// loadReport reads one BENCH_PR<N>.json.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// diffReports prints a per-benchmark comparison of two reports: ns/op with
+// the relative change, and allocs/op when either side is nonzero. Benchmarks
+// present in only one report are listed so a renamed or dropped entry is
+// visible rather than silently absent.
+func diffReports(oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldByName := map[string]Result{}
+	for _, r := range oldRep.Results {
+		oldByName[r.Name] = r
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs/op\n")
+	for _, n := range newRep.Results {
+		o, ok := oldByName[n.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t%d\n", n.Name, n.NsPerOp, n.AllocsPerOp)
+			continue
+		}
+		delete(oldByName, n.Name)
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		allocs := ""
+		if o.AllocsPerOp != 0 || n.AllocsPerOp != 0 {
+			allocs = fmt.Sprintf("%d -> %d", o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", n.Name, o.NsPerOp, n.NsPerOp, delta, allocs)
+	}
+	// Anything left in oldByName was dropped; keep the output order stable by
+	// walking the old report, not the map.
+	for _, o := range oldRep.Results {
+		if _, dropped := oldByName[o.Name]; dropped {
+			fmt.Fprintf(w, "%s\t%.0f\t-\tdropped\t\n", o.Name, o.NsPerOp)
+		}
+	}
+	return w.Flush()
+}
+
 func main() {
-	tag := flag.String("tag", "PR8", "report tag; defaults -out to BENCH_<tag>.json")
+	tag := flag.String("tag", "PR9", "report tag; defaults -out to BENCH_<tag>.json")
 	out := flag.String("out", "", "output file (- for stdout); overrides -tag")
+	diff := flag.Bool("diff", false, "compare two reports: benchreport -diff OLD.json NEW.json")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchreport: -diff needs exactly two report paths")
+			os.Exit(2)
+		}
+		fatalIf(diffReports(flag.Arg(0), flag.Arg(1)))
+		return
+	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", *tag)
 	}
@@ -131,6 +203,13 @@ func main() {
 		{"Makenewz", 0, benchfix.Makenewz(phylo.NewJC69(), phylo.SingleRate())},
 		{"SearchNNI/incremental", searchIters, benchfix.SearchNNI(false)},
 		{"SearchNNI/fullrefresh", searchIters, benchfix.SearchNNI(true)},
+		// Parallel-axis pairs (PR 9): speculative candidate windows and
+		// wavefront sweeps. Deterministic reduction makes their logL bits
+		// equal to the serial entries; on a host without spare hardware
+		// threads these measure dispatch overhead, not speedup.
+		{"SearchNNI/spec2", searchIters, benchfix.SearchNNISpeculative(2)},
+		{"SearchNNI/spec4", searchIters, benchfix.SearchNNISpeculative(4)},
+		{"EvaluateWavefront/w4", 0, benchfix.EvaluateWavefront(4)},
 		// Recorder-overhead pairs (PR 7): the same workload on a native
 		// runtime with the flight recorder on vs off; traced must stay
 		// within a few percent of off.

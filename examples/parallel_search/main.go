@@ -1,0 +1,94 @@
+// Parallel search: multigrain parallelism inside ONE tree inference.
+//
+// The quickstart shows task-level vs loop-level parallelism across many
+// tasks; this example drives both of the intra-inference axes on a single
+// search and verifies the headline guarantee live: the parallel search
+// returns bit-for-bit the same result as the serial one.
+//
+// Two axes are exercised: speculative NNI scoring (SearchOptions.Speculation)
+// scores windows of candidate rearrangements concurrently on replica engines
+// and reduces them in serial candidate order, while the wavefront CLV sweeps
+// dispatch the engine's dirty-node dependency levels over the task's worker
+// group (SetParallel / SetParallelNode / SetParallelWidth).
+//
+//	go run ./examples/parallel_search
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cellmg/internal/native"
+	"cellmg/internal/phylo"
+)
+
+func main() {
+	_, aln, err := phylo.Simulate(phylo.SimulateOptions{Taxa: 24, Length: 600, Seed: 17, MeanBranchLength: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := phylo.Compress(aln)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := phylo.SearchOptions{SmoothingRounds: 2, MaxRounds: 5, Epsilon: 0.01, Seed: 7}
+
+	// Serial reference: one engine, one goroutine.
+	serialEng, err := phylo.NewEngine(data, phylo.NewJC69(), phylo.SingleRate())
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	serial, err := serialEng.Search(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serialTime := time.Since(start)
+
+	// Parallel: the same search as an off-loaded task on a native runtime.
+	// The task's worker group backs the engine's wavefront sweeps, and the
+	// speculation knob adds a window of replica engines on top.
+	rt := native.New(native.Options{Workers: 4, Policy: native.StaticLLP, SPEsPerLoop: 4})
+	defer rt.Close()
+	popts := opts
+	popts.Speculation = 4
+
+	var parallel *phylo.SearchResult
+	var parallelTime time.Duration
+	err = rt.NewSubmitter().Offload(func(tc *native.TaskContext) {
+		eng, err := phylo.NewEngine(data, phylo.NewJC69(), phylo.SingleRate())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.ReleaseSpeculation()
+		eng.SetParallel(tc.ParallelFor)          // pattern-grain loop sharing
+		eng.SetParallelNode(tc.ParallelForHeavy) // node-grain wavefront levels
+		eng.SetParallelWidth(tc.GroupSize())
+		t0 := time.Now()
+		parallel, err = eng.Search(popts)
+		parallelTime = time.Since(t0)
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("serial:      logL %.6f  (%d NNIs evaluated, %d accepted) in %v\n",
+		serial.LogLikelihood, serial.NNIEvaluated, serial.NNIAccepted, serialTime.Round(time.Millisecond))
+	fmt.Printf("speculative: logL %.6f  (%d NNIs evaluated, %d accepted) in %v\n",
+		parallel.LogLikelihood, parallel.NNIEvaluated, parallel.NNIAccepted, parallelTime.Round(time.Millisecond))
+	fmt.Printf("replica-scored candidates: %d (%d wasted past accepted moves)\n",
+		parallel.SpecScored, parallel.SpecWasted)
+	s := rt.Stats()
+	fmt.Printf("runtime loops: %d pattern-grain work-shared, %d node-grain (wavefront levels)\n",
+		s.LoopsWorkShared, s.LoopsHeavy)
+
+	if parallel.LogLikelihood != serial.LogLikelihood || parallel.Tree.Newick() != serial.Tree.Newick() {
+		log.Fatal("parallel search diverged from serial — this is a bug, results are guaranteed bit-identical")
+	}
+	fmt.Println("results are bit-identical: the ordered reduction makes speculation invisible to the answer.")
+	fmt.Println("(speedup requires spare hardware threads; on a single-CPU host this measures dispatch overhead.)")
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"cellmg/internal/phylo"
@@ -264,3 +265,72 @@ func SearchNNI(fullRefresh bool) func(b *testing.B) {
 		}
 	}
 }
+
+// GoParallel returns the plainest concurrent ParallelFor: split [0,n) into
+// one chunk per worker and run the chunks on fresh goroutines. The parallel
+// engine benchmarks use it so they measure the engine's dispatch structure,
+// not the native runtime (which has its own benchmark set); on a
+// single-hardware-thread host it degrades to serial execution plus
+// goroutine-handoff overhead.
+func GoParallel(workers int) phylo.ParallelFor {
+	return func(n int, body func(lo, hi int)) {
+		if n <= 1 || workers <= 1 {
+			body(0, n)
+			return
+		}
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				body(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+}
+
+// SearchNNISpeculative is SearchNNI(false) with a speculation window of
+// `workers` NNI candidates scored concurrently (one on the master, workers-1
+// on pool replicas). The deterministic ordered reduction guarantees the
+// result — reported as the "logL" metric, like SearchNNI — is byte-identical
+// to the serial search, so any delta between this number and
+// SearchNNI/incremental is pure scheduling, not different work.
+func SearchNNISpeculative(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		eng, tree, snap, err := SearchEngine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.ReleaseSpeculation()
+		opts := SearchNNIOptions(false)
+		opts.Speculation = workers
+		var res phylo.SearchResult
+		run := func() {
+			if err := snap.Restore(tree); err != nil {
+				b.Fatal(err)
+			}
+			eng.InvalidateAll()
+			if err := eng.SearchInto(context.Background(), tree, opts, &res); err != nil {
+				b.Fatal(err)
+			}
+		}
+		run() // build the replica pool and warm both sides' scratch
+		run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+			b.ReportMetric(res.LogLikelihood, "logL")
+		}
+	}
+}
+
+// EvaluateWavefront lives in flightbench.go: it dispatches through a native
+// runtime's allocation-free executors, so the 0 allocs/op record covers the
+// wavefront path end to end.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cellmg/internal/phylo"
+	"cellmg/internal/stats"
 )
 
 // testData builds a small synthetic pattern alignment shared by the analysis
@@ -151,5 +152,47 @@ func TestAnalysisDefaults(t *testing.T) {
 	}
 	if res.Support != nil {
 		t.Errorf("no bootstraps -> no support values")
+	}
+}
+
+// TestAnalysisSpeculativeMatchesSerial drives the multigrain stack end to
+// end: speculative candidate scoring inside each task, the wavefront
+// dispatch over the task's worker group, and the SpecTasks accounting in the
+// off-load events. The likelihoods must still match the serial reference
+// exactly — the deterministic-reduction guarantee composed with task-level
+// scheduling.
+func TestAnalysisSpeculativeMatchesSerial(t *testing.T) {
+	data := testData(t)
+	opts := analysisOpts()
+
+	serial, err := phylo.RunAnalysis(data, phylo.NewJC69(), phylo.SingleRate(), phylo.AnalysisOptions{
+		Inferences: opts.Inferences,
+		Bootstraps: opts.Bootstraps,
+		Search:     opts.Search,
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := New(Options{Workers: 4, Policy: StaticLLP, SPEsPerLoop: 2})
+	defer rt.Close()
+	var sink stats.OffloadCollector
+	opts.Search.Speculation = 3
+	opts.Sink = &sink
+	res, err := RunAnalysis(rt, data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.InferenceLogs {
+		if res.InferenceLogs[i] != serial.InferenceLogs[i] {
+			t.Errorf("inference %d: speculative %v vs serial %v", i, res.InferenceLogs[i], serial.InferenceLogs[i])
+		}
+	}
+	if res.BestLogLik != serial.BestLogLik {
+		t.Errorf("best log-likelihood: speculative %v vs serial %v", res.BestLogLik, serial.BestLogLik)
+	}
+	if sum := sink.Summary(); sum.SpecTasks == 0 {
+		t.Errorf("no speculative work accounted, summary = %+v", sum)
 	}
 }

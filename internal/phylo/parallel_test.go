@@ -1,0 +1,301 @@
+package phylo
+
+// Property tests for the second parallel axis (PR 9): speculative NNI
+// candidate scoring (replica.go) and wavefront conditional-vector sweeps
+// (wavefront.go) must be byte-identical to the serial paths — the same
+// exact-equality bar the incremental machinery is held to, because both
+// features lean on the same invariant (every settled conditional vector is a
+// deterministic function of tree+model alone). The executor-swap guard is
+// exercised here too; run with -race to make it meaningful.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// goParallel is a real concurrently-executing ParallelFor: it splits the
+// range into one chunk per worker and runs the chunks on goroutines. The
+// tests use it to put actual concurrency behind the engine's loop dispatch
+// (the native runtime's executor is exercised by its own package tests).
+func goParallel(workers int) ParallelFor {
+	return func(n int, body func(lo, hi int)) {
+		if n <= 1 || workers <= 1 {
+			body(0, n)
+			return
+		}
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				body(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+}
+
+func parallelTestData(t *testing.T) *PatternAlignment {
+	t.Helper()
+	_, aln, err := Simulate(SimulateOptions{Taxa: 16, Length: 240, Seed: 41, MeanBranchLength: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSpeculativeSearchMatchesSerial is the deterministic-reduction property
+// test: a full search with window-parallel candidate scoring (and the
+// wavefront sweeps engaged behind a concurrent executor) must reproduce the
+// serial search bit for bit — same log-likelihoods, same accept/evaluate
+// counts, same rounds, same final topology — across both transition-matrix
+// families, both rate mixes, and speculation widths 1, 2 and 4.
+func TestSpeculativeSearchMatchesSerial(t *testing.T) {
+	data := parallelTestData(t)
+	for _, cfg := range incrementalConfigs(t) {
+		t.Run(cfg.name, func(t *testing.T) {
+			opts := SearchOptions{SmoothingRounds: 2, MaxRounds: 4, Epsilon: 0.01, Seed: 7}
+			serialEng, err := NewEngine(data, cfg.model, cfg.rates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := serialEng.Search(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.NNIAccepted == 0 {
+				t.Fatal("fixture too easy: serial search accepted no moves")
+			}
+			for _, width := range []int{1, 2, 4} {
+				eng, err := NewEngine(data, cfg.model, cfg.rates)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.SetParallel(goParallel(width))
+				eng.SetParallelWidth(width)
+				popts := opts
+				popts.Speculation = width
+				got, err := eng.Search(popts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.ReleaseSpeculation()
+				if got.LogLikelihood != want.LogLikelihood {
+					t.Errorf("width %d: logL %v, serial %v", width, got.LogLikelihood, want.LogLikelihood)
+				}
+				if got.StartLogLik != want.StartLogLik {
+					t.Errorf("width %d: start logL %v, serial %v", width, got.StartLogLik, want.StartLogLik)
+				}
+				if got.NNIEvaluated != want.NNIEvaluated || got.NNIAccepted != want.NNIAccepted {
+					t.Errorf("width %d: evaluated/accepted %d/%d, serial %d/%d",
+						width, got.NNIEvaluated, got.NNIAccepted, want.NNIEvaluated, want.NNIAccepted)
+				}
+				if got.Rounds != want.Rounds {
+					t.Errorf("width %d: %d rounds, serial %d", width, got.Rounds, want.Rounds)
+				}
+				if gn, wn := got.Tree.Newick(), want.Tree.Newick(); gn != wn {
+					t.Errorf("width %d: tree differs from serial\n got: %s\nwant: %s", width, gn, wn)
+				}
+				if width > 1 && got.SpecScored == 0 {
+					t.Errorf("width %d: no replica-side scoring happened", width)
+				}
+			}
+		})
+	}
+}
+
+// TestWavefrontMatchesSerial pins the wavefront sweeps alone: full refreshes
+// and incremental repairs dispatched level by level must produce the same
+// log-likelihood bits as the one-node-at-a-time traversals, with repeats on
+// and off.
+func TestWavefrontMatchesSerial(t *testing.T) {
+	data := parallelTestData(t)
+	for _, cfg := range incrementalConfigs(t) {
+		t.Run(cfg.name, func(t *testing.T) {
+			for _, repeats := range []bool{true, false} {
+				ref, err := NewEngine(data, cfg.model, cfg.rates)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wav, err := NewEngine(data, cfg.model, cfg.rates)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.SetSiteRepeats(repeats)
+				wav.SetSiteRepeats(repeats)
+				wav.SetParallel(goParallel(4))
+				wav.SetParallelWidth(4)
+				rng := rand.New(rand.NewSource(5))
+				tr, err := NewRandomTree(data.Names, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tw := tr.Clone()
+				ref.Refresh(tr)
+				wav.Refresh(tw)
+				if a, b := ref.LogLikelihood(tr), wav.LogLikelihood(tw); a != b {
+					t.Fatalf("repeats=%v: full refresh logL %v (serial) vs %v (wavefront)", repeats, a, b)
+				}
+				// Incremental repairs: length changes build shallow dirty
+				// sets, NNIs build tall ones.
+				edges := tr.InternalEdges()
+				for i, er := range edges {
+					ew := tw.Nodes[er.ID]
+					er.Length += 0.01 * float64(i+1)
+					ew.Length = er.Length
+					ref.InvalidateEdge(er)
+					wav.InvalidateEdge(ew)
+					if i%2 == 0 {
+						NNIMove{Edge: er, ChildIndex: i % 2}.Apply()
+						NNIMove{Edge: ew, ChildIndex: i % 2}.Apply()
+						ref.InvalidateNode(er)
+						wav.InvalidateNode(ew)
+					}
+					if a, b := ref.LogLikelihood(tr), wav.LogLikelihood(tw); a != b {
+						t.Fatalf("repeats=%v: step %d logL %v (serial) vs %v (wavefront)", repeats, i, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWavefrontToggle pins SetWavefront and the width gate: with the toggle
+// off or a width of 1 the engine must fall back to the serial traversals and
+// still agree bitwise.
+func TestWavefrontToggle(t *testing.T) {
+	data := parallelTestData(t)
+	eng, err := NewEngine(data, NewJC69(), SingleRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	tr, err := NewRandomTree(data.Names, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Refresh(tr)
+	want := eng.LogLikelihood(tr)
+	eng.SetParallel(goParallel(4))
+	eng.SetParallelWidth(4)
+	eng.InvalidateAll()
+	if got := eng.LogLikelihood(tr); got != want {
+		t.Fatalf("wavefront on: logL %v, want %v", got, want)
+	}
+	eng.SetWavefront(false)
+	eng.InvalidateAll()
+	if got := eng.LogLikelihood(tr); got != want {
+		t.Fatalf("wavefront off: logL %v, want %v", got, want)
+	}
+}
+
+// TestSetParallelSwapDuringSearch is the -race guard for the staged executor
+// swap: hammering SetParallel/SetParallelNode/SetParallelWidth from another
+// goroutine while a search sweeps must be race-free (the swap lands at the
+// engine's next evaluation boundary) and must not change the result.
+func TestSetParallelSwapDuringSearch(t *testing.T) {
+	data := parallelTestData(t)
+	opts := SearchOptions{SmoothingRounds: 2, MaxRounds: 3, Epsilon: 0.01, Seed: 7}
+	ref, err := NewEngine(data, NewJC69(), SingleRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(data, NewJC69(), SingleRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		two := goParallel(2)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				eng.SetParallel(two)
+				eng.SetParallelNode(two)
+				eng.SetParallelWidth(2)
+			} else {
+				eng.SetParallel(nil)
+				eng.SetParallelNode(nil)
+				eng.SetParallelWidth(1)
+			}
+		}
+	}()
+	got, err := eng.Search(opts)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LogLikelihood != want.LogLikelihood || got.Tree.Newick() != want.Tree.Newick() {
+		t.Fatalf("executor swaps mid-search changed the result: logL %v vs %v", got.LogLikelihood, want.LogLikelihood)
+	}
+}
+
+// TestSpeculationPoolLifecycle pins pool reuse and release semantics.
+func TestSpeculationPoolLifecycle(t *testing.T) {
+	data := parallelTestData(t)
+	eng, err := NewEngine(data, NewJC69(), SingleRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SearchOptions{SmoothingRounds: 1, MaxRounds: 2, Epsilon: 0.01, Seed: 3, Speculation: 3}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tree, err := NewRandomTree(data.Names, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res SearchResult
+	if err := eng.SearchInto(t.Context(), tree, opts, &res); err != nil {
+		t.Fatal(err)
+	}
+	if eng.SpecPoolSize() != 2 {
+		t.Fatalf("pool size %d after speculative search, want 2", eng.SpecPoolSize())
+	}
+	pool := eng.pool
+	if err := eng.SearchInto(t.Context(), tree, opts, &res); err != nil {
+		t.Fatal(err)
+	}
+	if eng.pool != pool {
+		t.Fatal("repeat search over the same tree rebuilt the pool")
+	}
+	// A configuration change must rebuild, not silently reuse.
+	eng.SetSiteRepeats(false)
+	if err := eng.SearchInto(t.Context(), tree, opts, &res); err != nil {
+		t.Fatal(err)
+	}
+	if eng.pool == pool {
+		t.Fatal("pool survived a SetSiteRepeats flip")
+	}
+	eng.ReleaseSpeculation()
+	if eng.SpecPoolSize() != 0 {
+		t.Fatalf("pool size %d after release, want 0", eng.SpecPoolSize())
+	}
+	// Speculation still works after an explicit release.
+	if err := eng.SearchInto(t.Context(), tree, opts, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecScored == 0 {
+		t.Fatal("no replica scoring after pool rebuild")
+	}
+}

@@ -1,0 +1,379 @@
+//cellmg:deterministic
+package phylo
+
+// This file implements speculative NNI candidate scoring: a pool of scoring
+// replicas — each a private likelihood engine bound to a private clone of the
+// search tree — evaluates independent candidate moves concurrently while the
+// master scores one inline, and a deterministic ordered reduction picks the
+// accepted move. This is the paper's coarse-grain (task-level) axis applied
+// INSIDE one inference: candidate evaluations are independent tasks, and they
+// compose with the fine-grain pattern loops the master already work-shares.
+//
+// Sharing contract. A replica engine shares with its parent exactly the data
+// that is immutable during a search: the pattern alignment (Data), the model
+// and rate categories (pure readers — GTR's Transition reads eigendecomposed
+// state computed at construction), and the tip conditional-vector block
+// (read-only after construction, aliased via newEngineShell). Everything
+// else — CLV arenas, scalers, site-repeat state, transition caches, search
+// scratch — is private per replica. The ISSUE sketch suggested sharing the
+// transition-cache slabs too; that is unsound as specified (cache misses
+// insert into a map, and branch optimization generates fresh Newton-iterate
+// lengths constantly), so replicas keep private caches instead.
+//
+// Determinism. The reduction is the serial first-improvement rule applied in
+// the fixed enumeration order: the master scores window position 0, replicas
+// score positions 1..k-1 against the same pre-window tree state, and the
+// lowest-position candidate that clears best+epsilon wins. Every replica
+// score is bit-identical to what the serial sweep would have computed at that
+// position, because (a) replica trees are rebased on the master state at
+// sweep start and after every accepted move, (b) rejected candidates restore
+// topology and lengths byte-exactly, and (c) every settled conditional vector
+// is a deterministic function of tree+model alone, independent of which
+// subset of vectors a traversal recomputes (the PR-5 property the incremental
+// equivalence tests pin). Scores computed for positions after an accepted
+// move are discarded (counted as wasted) and re-scored against the updated
+// tree, exactly reproducing the serial sweep's sequencing — so the parallel
+// search returns byte-identical results to SearchInto with Speculation off
+// (parallel_test.go asserts this across models, rate mixes and widths). No
+// tie-break randomness is needed: first-improvement in a fixed order has no
+// ties to break.
+//
+// Lifecycle. Replica goroutines are persistent (spawning per search would
+// allocate, breaking the 0 allocs/op steady-state contract) and block on a
+// command channel. ReleaseSpeculation shuts them down explicitly; a runtime
+// cleanup tied to the parent engine is the backstop, which is why the pool
+// must never reference the parent engine.
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+
+	"cellmg/internal/flight"
+)
+
+// Replica commands. The channel protocol is strictly half-duplex: the master
+// sends one command, the replica answers with one done token.
+const (
+	specScore  uint8 = iota + 1 // score one candidate move on the replica tree
+	specAccept                  // apply the window winner to the replica tree
+	specSync                    // rebase the replica tree on the pool snapshot
+)
+
+// specCmd is one command to a scoring replica.
+type specCmd struct {
+	op     uint8
+	child  int8  // NNIMove.ChildIndex
+	edge   int32 // NNIMove.Edge node ID
+	rounds int32 // smoothing rounds for specScore
+	n      int32 // accIDs/accLens prefix length for specAccept
+}
+
+// specPool is the replica set of one engine. It deliberately carries no
+// reference to the parent engine (see the lifecycle note above).
+type specPool struct {
+	reps    []*scoreReplica
+	snap    TreeSnapshot // master state broadcast at sweep start
+	accIDs  []int32      // winner's optimized edge set, broadcast on accept
+	accLens []float64
+	src     *Tree // the master tree the replica clones mirror
+	model   Model
+	repOn   bool
+	cacheOn bool
+	scored  int // replica-side candidate evaluations
+	wasted  int // replica scores discarded because an earlier move accepted
+	stopped atomic.Bool
+}
+
+// stop shuts the replica goroutines down; idempotent and safe to call from
+// the engine goroutine or the runtime cleanup.
+func (p *specPool) stop() {
+	if !p.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, r := range p.reps {
+		close(r.work)
+	}
+}
+
+// scoreReplica is one persistent scoring worker: a private engine and tree
+// plus its command/response channels. Result fields are written by the
+// replica before it sends the done token and read by the master after
+// receiving it (the channel orders the accesses).
+type scoreReplica struct {
+	eng     *Engine
+	tree    *Tree
+	pool    *specPool
+	work    chan specCmd
+	done    chan struct{}
+	cand    float64 // candidate log-likelihood of the last specScore
+	resIDs  []int32 // optimized neighborhood of the last specScore
+	resLens []float64
+	err     error
+}
+
+// loop is the replica goroutine body.
+func (r *scoreReplica) loop() {
+	for cmd := range r.work {
+		switch cmd.op {
+		case specScore:
+			r.score(cmd)
+		case specAccept:
+			r.adopt(cmd)
+		case specSync:
+			if err := r.pool.snap.Restore(r.tree); err != nil && r.err == nil {
+				r.err = err
+			}
+			r.eng.InvalidateAll()
+		}
+		r.done <- struct{}{}
+	}
+}
+
+// score evaluates one candidate move exactly like the serial sweep body:
+// apply, invalidate, locally re-optimize, then restore byte-exactly. The
+// optimized neighborhood (IDs and lengths) is recorded so the master can
+// adopt an accepted candidate without recomputing it.
+func (r *scoreReplica) score(cmd specCmd) {
+	t := r.tree
+	e := r.eng
+	mv := NNIMove{Edge: t.Nodes[cmd.edge], ChildIndex: int(cmd.child)}
+	mv.Apply()
+	e.InvalidateNode(mv.Edge)
+	e.snapshotLengths(e.collectLocalEdges(t, mv.Edge, nniRadius))
+	r.cand = e.optimizeEdges(t, e.savedNodes, int(cmd.rounds))
+	r.resIDs = r.resIDs[:0]
+	r.resLens = r.resLens[:0]
+	for _, u := range e.savedNodes {
+		r.resIDs = append(r.resIDs, int32(u.ID))
+		r.resLens = append(r.resLens, u.Length)
+	}
+	mv.Apply()
+	e.InvalidateNode(mv.Edge)
+	e.restoreLengths()
+}
+
+// adopt applies the window winner (move + optimized lengths) to the replica
+// tree, keeping it in lockstep with the master between syncs.
+func (r *scoreReplica) adopt(cmd specCmd) {
+	t := r.tree
+	p := r.pool
+	mv := NNIMove{Edge: t.Nodes[cmd.edge], ChildIndex: int(cmd.child)}
+	mv.Apply()
+	r.eng.InvalidateNode(mv.Edge)
+	for i := 0; i < int(cmd.n); i++ {
+		u := t.Nodes[p.accIDs[i]]
+		u.Length = p.accLens[i]
+		r.eng.InvalidateEdge(u)
+	}
+}
+
+// ensureSpecPool returns a pool of n replicas mirroring the engine's current
+// configuration and bound to clones of tree, reusing the existing pool when
+// it still matches (the steady state of repeated searches over one tree — the
+// reuse is what keeps the speculative search at 0 allocs/op). A configuration
+// or tree change rebuilds the pool.
+func (e *Engine) ensureSpecPool(n int, tree *Tree) *specPool {
+	p := e.pool
+	if p != nil && !p.stopped.Load() && len(p.reps) == n && p.src == tree &&
+		p.model == e.Model && p.repOn == e.repOn && p.cacheOn == e.cacheOn {
+		return p
+	}
+	e.ReleaseSpeculation()
+	p = &specPool{src: tree, model: e.Model, repOn: e.repOn, cacheOn: e.cacheOn}
+	for i := 0; i < n; i++ {
+		rep := &scoreReplica{
+			eng:  newEngineShell(e.Data, e.Model, e.Rates, e.tipBlk),
+			tree: tree.Clone(),
+			pool: p,
+			work: make(chan specCmd, 1),
+			done: make(chan struct{}, 1),
+		}
+		if !e.repOn {
+			rep.eng.SetSiteRepeats(false)
+		}
+		if !e.cacheOn {
+			rep.eng.SetTransitionCache(false)
+		}
+		p.reps = append(p.reps, rep)
+		go rep.loop()
+	}
+	e.pool = p
+	// Backstop for callers that drop the engine without ReleaseSpeculation:
+	// the cleanup closes the command channels so the goroutines exit. It must
+	// capture only the pool — a reference back to e would keep the engine
+	// reachable forever.
+	runtime.AddCleanup(e, func(p *specPool) { p.stop() }, p)
+	return p
+}
+
+// ReleaseSpeculation stops the speculative scoring replicas and drops the
+// pool. Safe to call at any time between searches; the next speculative
+// search rebuilds the pool. Engines that never enabled speculation need not
+// call it.
+func (e *Engine) ReleaseSpeculation() {
+	if e.pool != nil {
+		e.pool.stop()
+		e.pool = nil
+	}
+}
+
+// SpecPoolSize reports the number of live scoring replicas (diagnostics).
+func (e *Engine) SpecPoolSize() int {
+	if e.pool == nil || e.pool.stopped.Load() {
+		return 0
+	}
+	return len(e.pool.reps)
+}
+
+// forwardInvalidateTransitions propagates a model/rates mutation to the
+// replica engines, which share the mutated Model. The pool is idle whenever
+// user code runs (commands are strictly windowed inside a sweep), so the
+// direct call is safe.
+func (e *Engine) forwardInvalidateTransitions() {
+	if e.pool == nil || e.pool.stopped.Load() {
+		return
+	}
+	for _, r := range e.pool.reps {
+		r.eng.InvalidateTransitions()
+	}
+}
+
+// sweepSpeculative runs one NNI sweep with window-parallel candidate scoring:
+// the moves are consumed in windows of (replicas+1); each window scores its
+// candidates concurrently against the same pre-window state and the ordered
+// reduction accepts the lowest-position improvement, discarding later scores.
+// It reports whether any move was accepted, mirroring the serial sweep body
+// in SearchInto bit for bit.
+func (e *Engine) sweepSpeculative(ctx context.Context, tree *Tree, opts *SearchOptions, res *SearchResult, p *specPool, best *float64) (bool, error) {
+	// Sweep-start rebase: the smoothing between sweeps changed branch lengths
+	// the replicas never saw.
+	tree.CaptureTopologyInto(&p.snap)
+	for _, r := range p.reps {
+		r.work <- specCmd{op: specSync}
+	}
+	var firstErr error
+	for _, r := range p.reps {
+		<-r.done
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+			r.err = nil
+		}
+	}
+	if firstErr != nil {
+		return false, firstErr
+	}
+	improved := false
+	rounds := int32(opts.SmoothingRounds)
+	moves := e.movesBuf
+	window := 0
+	for i := 0; i < len(moves); {
+		if err := ctx.Err(); err != nil {
+			return improved, err
+		}
+		k := len(p.reps) + 1
+		if rem := len(moves) - i; k > rem {
+			k = rem
+		}
+		var t0 flight.Time
+		if e.rec != nil {
+			t0 = e.rec.Now()
+		}
+		for j := 1; j < k; j++ {
+			mv := moves[i+j]
+			p.reps[j-1].work <- specCmd{
+				op:     specScore,
+				edge:   int32(mv.Edge.ID),
+				child:  int8(mv.ChildIndex),
+				rounds: rounds,
+			}
+		}
+		// Score position 0 inline, exactly like the serial sweep body.
+		mv := moves[i]
+		mv.Apply()
+		e.InvalidateNode(mv.Edge)
+		e.snapshotLengths(e.collectLocalEdges(tree, mv.Edge, nniRadius))
+		cand := e.optimizeEdges(tree, e.savedNodes, opts.SmoothingRounds)
+		accepted := -1
+		if cand > *best+opts.Epsilon {
+			accepted = 0
+			*best = cand
+		} else {
+			mv.Apply()
+			e.InvalidateNode(mv.Edge)
+			e.restoreLengths()
+		}
+		// Always drain the whole window before deciding: the reduction needs
+		// every score, and the replicas must be quiescent before any accept
+		// broadcast.
+		for j := 1; j < k; j++ {
+			<-p.reps[j-1].done
+		}
+		p.scored += k - 1
+		if accepted < 0 {
+			// Ordered reduction: the first position that clears the bar is
+			// exactly the move the serial sweep would have accepted.
+			for j := 1; j < k; j++ {
+				r := p.reps[j-1]
+				if r.cand > *best+opts.Epsilon {
+					accepted = j
+					*best = r.cand
+					amv := moves[i+j]
+					amv.Apply()
+					e.InvalidateNode(amv.Edge)
+					for x, id := range r.resIDs {
+						u := tree.Nodes[id]
+						u.Length = r.resLens[x]
+						e.InvalidateEdge(u)
+					}
+					break
+				}
+			}
+		}
+		first := i
+		if accepted < 0 {
+			res.NNIEvaluated += k
+			i += k
+		} else {
+			res.NNIEvaluated += accepted + 1
+			p.wasted += k - 1 - accepted
+			res.NNIAccepted++
+			improved = true
+			// Broadcast the winner so every replica tree tracks the master;
+			// positions after the accept are re-scored next window against
+			// the updated tree, as the serial sweep would.
+			amv := moves[i+accepted]
+			p.accIDs = p.accIDs[:0]
+			p.accLens = p.accLens[:0]
+			if accepted == 0 {
+				for _, u := range e.savedNodes {
+					p.accIDs = append(p.accIDs, int32(u.ID))
+					p.accLens = append(p.accLens, u.Length)
+				}
+			} else {
+				r := p.reps[accepted-1]
+				p.accIDs = append(p.accIDs, r.resIDs...)
+				p.accLens = append(p.accLens, r.resLens...)
+			}
+			cmd := specCmd{
+				op:    specAccept,
+				edge:  int32(amv.Edge.ID),
+				child: int8(amv.ChildIndex),
+				n:     int32(len(p.accIDs)),
+			}
+			for _, r := range p.reps {
+				r.work <- cmd
+			}
+			for _, r := range p.reps {
+				<-r.done
+			}
+			i += accepted + 1
+		}
+		if e.rec != nil {
+			e.rec.Span(e.recLane, flight.KindSpec, e.recFlow, t0,
+				int64(window)<<32|int64(accepted+1), int64(first))
+		}
+		window++
+	}
+	return improved, nil
+}

@@ -29,6 +29,14 @@ type SearchOptions struct {
 	// O(taxa). It exists as the baseline for the incremental benchmarks and
 	// as a safety fallback; leave it false for normal use.
 	FullRefresh bool
+	// Speculation is the number of NNI candidates scored concurrently per
+	// window: 0 or 1 keeps the serial sweep; w > 1 scores one candidate on
+	// the search goroutine and w-1 on persistent scoring replicas
+	// (replica.go), with a deterministic ordered reduction that makes the
+	// result byte-identical to the serial sweep. Typically set to the
+	// worker-group width. Ignored (serial) under FullRefresh, whose
+	// whole-tree candidate scoring is the explicit non-incremental baseline.
+	Speculation int
 }
 
 // nniRadius is the neighborhood re-optimized around a rearranged edge when
@@ -71,6 +79,13 @@ type SearchResult struct {
 	NNIAccepted   int
 	NNIEvaluated  int
 	Rounds        int
+	// SpecScored and SpecWasted count replica-side candidate evaluations and
+	// the subset discarded because an earlier move in the window was accepted
+	// (speculation efficiency diagnostics; zero for serial searches). They
+	// are the only fields allowed to differ between a serial and a
+	// speculative run of the same search.
+	SpecScored int
+	SpecWasted int
 }
 
 // Search runs a randomized-starting-tree hill-climbing search: build a random
@@ -250,41 +265,28 @@ func (e *Engine) SearchInto(ctx context.Context, tree *Tree, opts SearchOptions,
 	res.StartLogLik = best
 	reportProgress(&opts, res, best)
 
+	// Window-parallel candidate scoring (replica.go): active only in the
+	// incremental mode, where candidate evaluation is the self-contained
+	// apply/score/restore unit the replicas replay.
+	var pool *specPool
+	if opts.Speculation > 1 && !opts.FullRefresh {
+		pool = e.ensureSpecPool(opts.Speculation-1, tree)
+		pool.scored, pool.wasted = 0, 0
+	}
+
 	lastSweepImproved := false
 	for round := 0; round < opts.MaxRounds; round++ {
 		res.Rounds++
-		improvedThisRound := false
 		e.movesBuf = tree.AppendNNIMoves(e.movesBuf[:0])
-		for _, move := range e.movesBuf {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			res.NNIEvaluated++
-			move.Apply()
-			e.InvalidateNode(move.Edge)
-			// Candidates get the same smoothing budget as the incumbent so
-			// the comparison is fair; the optimizers stop early once the
-			// branch lengths converge.
-			var candidate float64
-			if opts.FullRefresh {
-				e.snapshotLengths(tree.Nodes)
-				candidate = e.OptimizeAllBranches(tree, opts.SmoothingRounds)
-			} else {
-				// Local re-optimization: the move only perturbed a
-				// constant-size neighborhood, so re-optimizing the branches
-				// around the rearranged edge is enough to score it.
-				e.snapshotLengths(e.collectLocalEdges(tree, move.Edge, nniRadius))
-				candidate = e.optimizeEdges(tree, e.savedNodes, opts.SmoothingRounds)
-			}
-			if candidate > best+opts.Epsilon {
-				best = candidate
-				res.NNIAccepted++
-				improvedThisRound = true
-			} else {
-				move.Apply() // revert the topology...
-				e.InvalidateNode(move.Edge)
-				e.restoreLengths()
-			}
+		var improvedThisRound bool
+		var err error
+		if pool != nil {
+			improvedThisRound, err = e.sweepSpeculative(ctx, tree, &opts, res, pool, &best)
+		} else {
+			improvedThisRound, err = e.sweepSerial(ctx, tree, &opts, res, &best)
+		}
+		if err != nil {
+			return err
 		}
 		if improvedThisRound && !opts.FullRefresh {
 			// One full smoothing pass per sweep consolidates the accepted
@@ -312,5 +314,48 @@ func (e *Engine) SearchInto(ctx context.Context, tree *Tree, opts SearchOptions,
 		best = e.OptimizeAllBranches(tree, opts.SmoothingRounds)
 	}
 	res.LogLikelihood = best
+	if pool != nil {
+		res.SpecScored = pool.scored
+		res.SpecWasted = pool.wasted
+	}
 	return nil
+}
+
+// sweepSerial runs one NNI sweep in move order on the search goroutine — the
+// reference semantics sweepSpeculative reproduces bit for bit. It reports
+// whether any move was accepted.
+func (e *Engine) sweepSerial(ctx context.Context, tree *Tree, opts *SearchOptions, res *SearchResult, best *float64) (bool, error) {
+	improved := false
+	for _, move := range e.movesBuf {
+		if err := ctx.Err(); err != nil {
+			return improved, err
+		}
+		res.NNIEvaluated++
+		move.Apply()
+		e.InvalidateNode(move.Edge)
+		// Candidates get the same smoothing budget as the incumbent so the
+		// comparison is fair; the optimizers stop early once the branch
+		// lengths converge.
+		var candidate float64
+		if opts.FullRefresh {
+			e.snapshotLengths(tree.Nodes)
+			candidate = e.OptimizeAllBranches(tree, opts.SmoothingRounds)
+		} else {
+			// Local re-optimization: the move only perturbed a constant-size
+			// neighborhood, so re-optimizing the branches around the
+			// rearranged edge is enough to score it.
+			e.snapshotLengths(e.collectLocalEdges(tree, move.Edge, nniRadius))
+			candidate = e.optimizeEdges(tree, e.savedNodes, opts.SmoothingRounds)
+		}
+		if candidate > *best+opts.Epsilon {
+			*best = candidate
+			res.NNIAccepted++
+			improved = true
+		} else {
+			move.Apply() // revert the topology...
+			e.InvalidateNode(move.Edge)
+			e.restoreLengths()
+		}
+	}
+	return improved, nil
 }

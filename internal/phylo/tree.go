@@ -499,13 +499,26 @@ type TreeSnapshot struct {
 // The returned snapshot stays valid as long as the tree keeps the same node
 // set (IDs are stable across rearrangements).
 func (t *Tree) CaptureTopology() *TreeSnapshot {
+	s := &TreeSnapshot{}
+	t.CaptureTopologyInto(s)
+	return s
+}
+
+// CaptureTopologyInto is CaptureTopology writing into a caller-provided
+// snapshot, reusing its slices when they are large enough — the
+// allocation-free form for callers (the speculative search) that re-capture
+// into the same snapshot every sweep.
+func (t *Tree) CaptureTopologyInto(s *TreeSnapshot) {
 	n := len(t.Nodes)
-	s := &TreeSnapshot{
-		parent: make([]int32, n),
-		child:  make([]int32, 2*n),
-		length: make([]float64, n),
-		root:   int32(t.Root.ID),
+	if cap(s.parent) < n {
+		s.parent = make([]int32, n)
+		s.child = make([]int32, 2*n)
+		s.length = make([]float64, n)
 	}
+	s.parent = s.parent[:n]
+	s.child = s.child[:2*n]
+	s.length = s.length[:n]
+	s.root = int32(t.Root.ID)
 	for i, v := range t.Nodes {
 		if v.Parent != nil {
 			s.parent[i] = int32(v.Parent.ID)
@@ -519,7 +532,6 @@ func (t *Tree) CaptureTopology() *TreeSnapshot {
 		}
 		s.length[i] = v.Length
 	}
-	return s
 }
 
 // Restore rewrites the tree's parent/child pointers and branch lengths to the
