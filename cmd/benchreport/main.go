@@ -5,9 +5,9 @@
 // uploads the file as an artifact; the repository commits the snapshot for
 // the current PR (BENCH_PR<N>.json).
 //
-//	go run ./cmd/benchreport -tag PR9            # writes BENCH_PR9.json
+//	go run ./cmd/benchreport -tag PR10           # writes BENCH_PR10.json
 //	go run ./cmd/benchreport -out some/path.json # explicit destination
-//	go run ./cmd/benchreport -diff BENCH_PR8.json BENCH_PR9.json
+//	go run ./cmd/benchreport -diff BENCH_PR9.json BENCH_PR10.json
 //
 // The -diff mode compares two committed reports benchmark by benchmark
 // (ns/op with relative change, allocs/op when nonzero) and flags entries
@@ -48,7 +48,22 @@ import (
 
 	"cellmg/internal/benchfix"
 	"cellmg/internal/phylo"
+	"cellmg/internal/server"
 )
+
+// walAppend adapts server.WALAppendBench (which needs a scratch directory) to
+// the entry table; outside the testing framework the temp dir is made and
+// removed here.
+func walAppend() func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "cellmg-walbench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		server.WALAppendBench(dir)(b)
+	}
+}
 
 // Result is one benchmark measurement in the report. Iterations is the total
 // op count behind the per-op values and Runs the number of testing.Benchmark
@@ -166,7 +181,7 @@ func diffReports(oldPath, newPath string) error {
 }
 
 func main() {
-	tag := flag.String("tag", "PR9", "report tag; defaults -out to BENCH_<tag>.json")
+	tag := flag.String("tag", "PR10", "report tag; defaults -out to BENCH_<tag>.json")
 	out := flag.String("out", "", "output file (- for stdout); overrides -tag")
 	diff := flag.Bool("diff", false, "compare two reports: benchreport -diff OLD.json NEW.json")
 	flag.Parse()
@@ -217,6 +232,11 @@ func main() {
 		{"EvaluateFlight/off", 0, benchfix.EvaluateFullSweepFlight(false)},
 		{"SearchNNIFlight/traced", searchIters, benchfix.SearchNNIFlight(true)},
 		{"SearchNNIFlight/off", searchIters, benchfix.SearchNNIFlight(false)},
+		// Durability pair (PR 10): the cost of the checkpoint/WAL path a
+		// crash-recoverable job pays — encoding one search checkpoint, and
+		// appending one checkpoint-sized record to the fsync-batched job log.
+		{"CheckpointWrite", 0, benchfix.CheckpointWrite()},
+		{"WALAppend", 0, walAppend()},
 	} {
 		rep.Results = append(rep.Results, measure(bm.name, bm.minIters, bm.fn))
 	}

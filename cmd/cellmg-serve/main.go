@@ -58,6 +58,9 @@ func main() {
 		flightOn      = flag.Bool("flight", false, "enable the flight recorder (GET /v1/trace, /v1/jobs/{id}/trace)")
 		flightEvents  = flag.Int("flight-events", 0, "flight recorder ring capacity per lane (0 = default 4096)")
 		pprofAddr     = flag.String("pprof", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
+		dataDir       = flag.String("data-dir", "", "directory for the write-ahead job log; enables crash recovery (empty = in-memory only)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for jobs to finish or checkpoint before exiting")
+		maxAttempts   = flag.Int("max-job-attempts", 0, "restarts before a crashed job fails terminally (0 = default 3)")
 	)
 	flag.Parse()
 
@@ -86,7 +89,7 @@ func main() {
 		}()
 	}
 
-	srv := server.New(server.Options{
+	srv, err := server.Open(server.Options{
 		Workers:          *workers,
 		Policy:           pol,
 		SPEsPerLoop:      *loopWidth,
@@ -95,9 +98,19 @@ func main() {
 		MaxTasksPerJob:   *maxTasks,
 		Flight:           *flightOn,
 		FlightLaneEvents: *flightEvents,
+		DataDir:          *dataDir,
+		MaxJobAttempts:   *maxAttempts,
 	})
+	if err != nil {
+		log.Fatalf("cellmg-serve: opening job store: %v", err)
+	}
 	if *flightOn {
 		log.Printf("cellmg-serve: flight recorder on; traces at /v1/trace and /v1/jobs/{id}/trace")
+	}
+	if *dataDir != "" {
+		d := srv.Metrics().Durability
+		log.Printf("cellmg-serve: job log at %s (recovered %d jobs, %d tasks, %d checkpoints)",
+			*dataDir, d.RecoveredJobs, d.RecoveredTasks, d.RecoveredCheckpoints)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -112,9 +125,14 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("cellmg-serve: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	log.Printf("cellmg-serve: draining (up to %v)", *drainTimeout)
+	// Drain first: new submissions get 503 + Retry-After while queued and
+	// running jobs finish (or, past the timeout, are aborted with their
+	// checkpoints already in the WAL). The HTTP listener stays up through the
+	// drain so clients can keep polling status; it closes last.
+	srv.Drain(*drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	_ = httpSrv.Shutdown(ctx) // stop accepting requests, drain handlers
-	srv.Close()               // cancel queued/running jobs, stop the runtime
+	_ = httpSrv.Shutdown(ctx)
+	log.Printf("cellmg-serve: bye")
 }

@@ -62,19 +62,13 @@ func main() {
 	})
 	fmt.Printf("bob submitted %s and %s\n\n", bob, doomed)
 
-	// Stream alice's events over SSE until her job completes.
-	fmt.Println("alice's event stream:")
-	resp, err := http.Get(base + "/v1/jobs/" + alice + "/events")
-	if err != nil {
-		fail(err)
-	}
-	scanner := bufio.NewScanner(resp.Body)
-	for scanner.Scan() {
-		if line := scanner.Text(); strings.HasPrefix(line, "event: ") {
-			fmt.Printf("  %s\n", strings.TrimPrefix(line, "event: "))
-		}
-	}
-	resp.Body.Close()
+	// Stream alice's events over SSE until her job completes — with the
+	// reconnect discipline a real client needs: remember the last event id,
+	// and on any disconnect retry with Last-Event-ID so the server replays
+	// only what was missed. To prove it works, the first connection is
+	// deliberately dropped after a few events.
+	fmt.Println("alice's event stream (first connection dropped on purpose):")
+	streamEvents(base, alice)
 
 	// Cancel bob's long job mid-run; its workers return to the pool.
 	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+doomed, nil)
@@ -112,6 +106,66 @@ func main() {
 		traceFile = os.Args[1]
 	}
 	fmt.Printf("\n%s\n", downloadTrace(base, alice, traceFile))
+}
+
+// streamEvents follows one job's SSE stream to its terminal event, surviving
+// disconnects: each reconnect carries the standard Last-Event-ID header with
+// the highest id seen, and waits with linear backoff (the server would also
+// honour an explicit `retry:` hint; it does not send one). The first
+// connection is dropped after three events to exercise the resume path.
+func streamEvents(base, id string) {
+	lastID := ""
+	dropAfter := 3 // events to read before the deliberate first-connection drop
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(attempt) * 100 * time.Millisecond
+			if backoff > time.Second {
+				backoff = time.Second
+			}
+			fmt.Printf("  [reconnecting after %v with Last-Event-ID: %s]\n", backoff, lastID)
+			time.Sleep(backoff)
+		}
+		req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			fail(err)
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			continue // server unreachable: back off and retry
+		}
+		terminal := func() bool {
+			defer resp.Body.Close()
+			seen := 0
+			scanner := bufio.NewScanner(resp.Body)
+			for scanner.Scan() {
+				line := scanner.Text()
+				switch {
+				case strings.HasPrefix(line, "id: "):
+					lastID = strings.TrimPrefix(line, "id: ")
+				case strings.HasPrefix(line, "event: "):
+					ev := strings.TrimPrefix(line, "event: ")
+					fmt.Printf("  %s\n", ev)
+					seen++
+					switch ev {
+					case "done", "failed", "cancelled":
+						return true
+					}
+					if attempt == 0 && seen == dropAfter {
+						return false // simulate a flaky connection
+					}
+				}
+			}
+			// Stream ended without a terminal event (job still running,
+			// server closed the connection): reconnect and resume.
+			return false
+		}()
+		if terminal {
+			return
+		}
+	}
 }
 
 // downloadTrace fetches one job's Perfetto trace, writes it to path, and

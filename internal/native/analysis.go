@@ -38,6 +38,54 @@ type AnalysisOptions struct {
 	// spans, NNI sweep instants) so traces of a shared runtime can be
 	// filtered per job. Only meaningful when the runtime has a recorder.
 	FlightID uint64
+
+	// The four hooks below are the durability surface RunAnalysisContext
+	// offers the job store. Every task's seed is derived from (Seed, task id)
+	// alone, so a task can be skipped, resumed or re-run in any order without
+	// perturbing any other task — which is what makes replicate-granular
+	// crash recovery byte-identical by construction.
+
+	// SkipTask, when non-nil, is consulted once per task before it is
+	// submitted: returning ok=true means the task already completed in a
+	// previous incarnation and its recorded outcome is used verbatim —
+	// nothing is recomputed. Skipped tasks still count in Progress but are
+	// not re-announced through OnTaskDone.
+	SkipTask func(TaskID) (TaskOutcome, bool)
+	// ResumeSearch, when non-nil, may return a checkpoint for a task that was
+	// mid-search when the previous incarnation stopped; the task's search
+	// resumes from it (phylo.SearchOptions.Resume) instead of starting over.
+	// Returning nil runs the task from scratch.
+	ResumeSearch func(TaskID) *phylo.Checkpoint
+	// Checkpoint, when non-nil, receives each task's sweep-boundary
+	// checkpoints (phylo.SearchOptions.Checkpoint with the task identity
+	// bound). Calls arrive concurrently from different tasks but always from
+	// the emitting task's own goroutine; the *phylo.Checkpoint is engine-owned
+	// and must be encoded inside the callback. Overrides any Checkpoint set
+	// on Search.
+	Checkpoint func(TaskID, *phylo.Checkpoint)
+	// OnTaskDone, when non-nil, is invoked once per task completed in THIS
+	// run (skipped tasks are not re-announced), serialized with Progress.
+	// The job store appends the outcome to its log so the next incarnation
+	// can SkipTask it.
+	OnTaskDone func(TaskOutcome)
+}
+
+// TaskID identifies one task of an analysis: inference i or bootstrap
+// replicate j. The zero Index is valid; the pair is stable across runs
+// because tasks are indexed, not ordered by completion.
+type TaskID struct {
+	Bootstrap bool
+	Index     int
+}
+
+// TaskOutcome is one task's completed result, the unit of replicate-granular
+// recovery. Tree is the search's final tree with exact branch-length bits
+// (persist it with phylo.AppendTreeBinary, never Newick, to keep recovery
+// byte-identical).
+type TaskOutcome struct {
+	Task   TaskID
+	LogLik float64
+	Tree   *phylo.Tree
 }
 
 // AnalysisProgress is a snapshot handed to AnalysisOptions.Progress after a
@@ -135,26 +183,45 @@ func RunAnalysisContext(ctx context.Context, rt *Runtime, data *phylo.PatternAli
 
 	var progressMu sync.Mutex
 	completed := 0
-	report := func(j job, loglik float64) {
-		if opts.Progress == nil {
+	// report serializes the completion-side hooks: Progress counts every
+	// finished task (skipped or live), OnTaskDone announces only live ones —
+	// a recovered run must not re-log outcomes the store already has.
+	report := func(j job, loglik float64, tree *phylo.Tree, skipped bool) {
+		if opts.Progress == nil && opts.OnTaskDone == nil {
 			return
 		}
 		progressMu.Lock()
+		defer progressMu.Unlock()
 		completed++
-		opts.Progress(AnalysisProgress{
-			Completed: completed,
-			Total:     len(jobs),
-			Bootstrap: j.bootstrap,
-			Index:     j.index,
-			LogLik:    loglik,
-		})
-		progressMu.Unlock()
+		if opts.Progress != nil {
+			opts.Progress(AnalysisProgress{
+				Completed: completed,
+				Total:     len(jobs),
+				Bootstrap: j.bootstrap,
+				Index:     j.index,
+				LogLik:    loglik,
+			})
+		}
+		if !skipped && opts.OnTaskDone != nil {
+			opts.OnTaskDone(TaskOutcome{
+				Task:   TaskID{Bootstrap: j.bootstrap, Index: j.index},
+				LogLik: loglik,
+				Tree:   tree,
+			})
+		}
 	}
 
 	results := make([]outcome, len(jobs))
 	var wg sync.WaitGroup
 	for ji, j := range jobs {
 		ji, j := ji, j
+		if opts.SkipTask != nil {
+			if out, ok := opts.SkipTask(TaskID{Bootstrap: j.bootstrap, Index: j.index}); ok {
+				results[ji] = outcome{job: j, tree: out.Tree, loglik: out.LogLik}
+				report(j, out.LogLik, out.Tree, true)
+				continue
+			}
+		}
 		var sub *Submitter
 		if opts.Sink != nil {
 			sub = rt.NewSubmitterWithSink(opts.Sink)
@@ -200,6 +267,13 @@ func RunAnalysisContext(ctx context.Context, rt *Runtime, data *phylo.PatternAli
 				eng.SetParallelWidth(tc.GroupSize())
 				so := opts.Search
 				so.Seed = seed
+				id := TaskID{Bootstrap: j.bootstrap, Index: j.index}
+				if opts.Checkpoint != nil {
+					so.Checkpoint = func(c *phylo.Checkpoint) { opts.Checkpoint(id, c) }
+				}
+				if opts.ResumeSearch != nil {
+					so.Resume = opts.ResumeSearch(id)
+				}
 				if so.Speculation > 1 {
 					// Speculative candidate scoring spawns replica engines
 					// (goroutines of this task, not pool workers); release
@@ -237,7 +311,7 @@ func RunAnalysisContext(ctx context.Context, rt *Runtime, data *phylo.PatternAli
 				}
 				tc.AddSpecTasks(sr.SpecScored)
 				results[ji] = outcome{job: j, tree: sr.Tree, loglik: sr.LogLikelihood}
-				report(j, sr.LogLikelihood)
+				report(j, sr.LogLikelihood, sr.Tree, false)
 			})
 			if err != nil && results[ji].err == nil {
 				results[ji] = outcome{job: j, err: err}

@@ -153,6 +153,14 @@ func BenchmarkSearchNNI(b *testing.B) {
 	b.Run("spec4", benchfix.SearchNNISpeculative(4))
 }
 
+// BenchmarkCheckpointWrite measures encoding one search checkpoint into a
+// reused buffer — the cost SearchOptions.Checkpoint adds at every sweep
+// boundary before the bytes reach the write-ahead log. Must be
+// allocation-free (alloc_test-style guard lives in checkpoint_test.go).
+func BenchmarkCheckpointWrite(b *testing.B) {
+	benchfix.CheckpointWrite()(b)
+}
+
 // BenchmarkEvaluateWavefront measures the fine-grain axis of the multigrain
 // scheme: full-sweep evaluation with dirty nodes batched into dependency
 // levels and dispatched across a goroutine executor. Compare with

@@ -1,0 +1,565 @@
+//cellmg:deterministic
+package phylo
+
+// Search checkpointing: a versioned, deterministic binary record of a tree
+// search at a sweep boundary, small enough to write on every sweep (O(taxa):
+// topology, branch lengths, model parameters and counters — never the O(taxa ×
+// sites) conditional-likelihood vectors, which Refresh recomputes on load).
+//
+// The contract that makes exact resume possible is the one PR 5 and PR 8
+// property-tested: conditional likelihoods recomputed from scratch off a tree
+// are byte-identical to the ones maintained incrementally, and every piece of
+// search state that influences the remaining computation is either in the
+// checkpoint or a pure function of it. A search resumed from a checkpoint
+// therefore produces bit-identical results — tree topology, branch-length
+// bits, log-likelihood bits, move counters — to the uninterrupted run.
+//
+// Versioning rule: CheckpointVersion is bumped on ANY change to the encoded
+// layout or to the search semantics the counters describe. Decoding rejects
+// unknown versions outright (no cross-version migration): a checkpoint is a
+// crash-recovery artifact of one binary, not an archival format, and a failed
+// decode merely restarts the search from scratch — correct, just slower.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// CheckpointVersion identifies the encoded layout; see the versioning rule in
+// the package comment above.
+const CheckpointVersion = 1
+
+// checkpointMagic frames every encoded checkpoint ("CMGCKPT").
+var checkpointMagic = [8]byte{'C', 'M', 'G', 'C', 'K', 'P', 'T', 0}
+
+// treeMagic frames an encoded standalone tree ("CMGTREE").
+var treeMagic = [8]byte{'C', 'M', 'G', 'T', 'R', 'E', 'E', 0}
+
+// crcTable is the Castagnoli polynomial both codecs use for their trailing
+// integrity check (the WAL frames records with the same polynomial).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checkpoint is the restartable state of a tree search at a sweep boundary.
+// The engine owns one and reuses it across emissions (fillCheckpoint), so the
+// Checkpoint handed to SearchOptions.Checkpoint must not be retained past the
+// callback; encode it (AppendBinary) if it needs to outlive the call. Taxa
+// aliases the engine's alignment names — read-only.
+type Checkpoint struct {
+	// Round counts completed NNI sweeps; the resumed search continues at
+	// round Round. NNIEvaluated/NNIAccepted/SpecScored/SpecWasted are the
+	// SearchResult counters at the boundary.
+	Round        int
+	NNIEvaluated int
+	NNIAccepted  int
+	SpecScored   int
+	SpecWasted   int
+	// StartLogLik and Best are the log-likelihood after the initial
+	// branch-length optimization and at this boundary, bit-exact.
+	StartLogLik float64
+	Best        float64
+	// SmoothConverged and LastSweepImproved reproduce the control flow that
+	// decides whether the final thorough smoothing pass runs.
+	SmoothConverged   bool
+	LastSweepImproved bool
+	// Seed is the search seed. The search's RNG stream is fully consumed
+	// building the randomized starting tree, before the first sweep boundary,
+	// so the seed plus the captured topology IS the stream position: nothing
+	// after the checkpoint draws from the generator.
+	Seed int64
+	// SiteRepeats records the engine's site-repeat-compression toggle; resume
+	// restores it before recomputing the conditional vectors.
+	SiteRepeats bool
+
+	// Model self-description: JC69, or a GTR-family model given by its six
+	// exchange rates and base frequencies (the eigendecomposition is
+	// recomputed deterministically from them on load).
+	ModelGTR  bool
+	ModelName string
+	GTRRates  [6]float64
+	GTRFreqs  Frequencies
+	// Rates are the per-category rates (SingleRate or DiscreteGamma output),
+	// stored bit-exact rather than as the Gamma shape so discretization
+	// changes cannot silently shift a resumed search.
+	Rates []float64
+
+	// Taxa and Topo carry the tree: taxon names in tip-ID order plus the
+	// ID-indexed topology/branch-length snapshot.
+	Taxa []string
+	Topo TreeSnapshot
+}
+
+// fillCheckpoint writes the engine's current search state into c, reusing
+// c's slices — no allocation in steady state (AllocsPerRun-guarded by
+// TestCheckpointEmissionAllocationFree).
+func (e *Engine) fillCheckpoint(c *Checkpoint, tree *Tree, opts *SearchOptions, res *SearchResult,
+	best float64, smoothConverged, lastImproved bool, pool *specPool) {
+	c.Round = res.Rounds
+	c.NNIEvaluated = res.NNIEvaluated
+	c.NNIAccepted = res.NNIAccepted
+	c.SpecScored, c.SpecWasted = 0, 0
+	if pool != nil {
+		c.SpecScored, c.SpecWasted = pool.scored, pool.wasted
+	}
+	c.StartLogLik = res.StartLogLik
+	c.Best = best
+	c.SmoothConverged = smoothConverged
+	c.LastSweepImproved = lastImproved
+	c.Seed = opts.Seed
+	c.SiteRepeats = e.repOn
+	switch m := e.Model.(type) {
+	case JC69:
+		c.ModelGTR = false
+		c.ModelName = m.Name()
+		c.GTRRates = [6]float64{}
+		c.GTRFreqs = Frequencies{}
+	case *GTR:
+		c.ModelGTR = true
+		c.ModelName = m.Name()
+		c.GTRRates = m.ExchangeRates()
+		c.GTRFreqs = m.Frequencies()
+	default:
+		// Unknown model implementations cannot be round-tripped; mark the
+		// checkpoint so Matches/BuildModel reject it instead of resuming a
+		// search under the wrong model.
+		c.ModelGTR = false
+		c.ModelName = ""
+	}
+	c.Rates = append(c.Rates[:0], e.Rates.Rates...)
+	c.Taxa = e.Data.Names
+	tree.CaptureTopologyInto(&c.Topo)
+}
+
+// emitCheckpoint invokes the Checkpoint hook, if any, with the engine-owned
+// checkpoint refreshed to the current sweep boundary.
+func (e *Engine) emitCheckpoint(opts *SearchOptions, res *SearchResult, tree *Tree,
+	best float64, smoothConverged, lastImproved bool, pool *specPool) {
+	if opts.Checkpoint == nil {
+		return
+	}
+	e.fillCheckpoint(&e.ckpt, tree, opts, res, best, smoothConverged, lastImproved, pool)
+	opts.Checkpoint(&e.ckpt)
+}
+
+// Matches reports whether the checkpoint was taken under the engine's
+// alignment, model and rate configuration — the compatibility gate of resume.
+func (c *Checkpoint) Matches(e *Engine) error {
+	if len(c.Taxa) != len(e.Data.Names) {
+		return fmt.Errorf("phylo: checkpoint covers %d taxa, engine has %d", len(c.Taxa), len(e.Data.Names))
+	}
+	for i, name := range c.Taxa {
+		if e.Data.Names[i] != name {
+			return fmt.Errorf("phylo: checkpoint taxon %d is %q, engine has %q", i, name, e.Data.Names[i])
+		}
+	}
+	switch m := e.Model.(type) {
+	case JC69:
+		if c.ModelGTR || c.ModelName != m.Name() {
+			return fmt.Errorf("phylo: checkpoint model %q does not match engine model %q", c.ModelName, m.Name())
+		}
+	case *GTR:
+		if !c.ModelGTR || c.GTRRates != m.ExchangeRates() || c.GTRFreqs != m.Frequencies() {
+			return fmt.Errorf("phylo: checkpoint model %q does not match engine GTR parameters", c.ModelName)
+		}
+	default:
+		return fmt.Errorf("phylo: engine model %T cannot be checkpoint-resumed", e.Model)
+	}
+	if len(c.Rates) != len(e.Rates.Rates) {
+		return fmt.Errorf("phylo: checkpoint has %d rate categories, engine has %d", len(c.Rates), len(e.Rates.Rates))
+	}
+	for i, r := range c.Rates {
+		if math.Float64bits(e.Rates.Rates[i]) != math.Float64bits(r) {
+			return fmt.Errorf("phylo: checkpoint rate category %d differs from engine", i)
+		}
+	}
+	return nil
+}
+
+// BuildModel reconstructs the substitution model the checkpoint was taken
+// under. The stored exchange rates and frequencies are installed verbatim —
+// NOT re-normalized, which could shift frequency bits — and the
+// eigendecomposition recomputed; it is a deterministic function of them, so
+// transition matrices agree bit for bit with the original model's.
+func (c *Checkpoint) BuildModel() (Model, error) {
+	if !c.ModelGTR {
+		if c.ModelName != (JC69{}).Name() {
+			return nil, fmt.Errorf("phylo: checkpoint model %q is not resumable", c.ModelName)
+		}
+		return NewJC69(), nil
+	}
+	for i, r := range c.GTRRates {
+		if !(r > 0) {
+			return nil, fmt.Errorf("phylo: checkpoint GTR exchange rate %d is %v", i, r)
+		}
+	}
+	for i, f := range c.GTRFreqs {
+		if !(f > 0) {
+			return nil, fmt.Errorf("phylo: checkpoint GTR frequency %d is %v", i, f)
+		}
+	}
+	g := &GTR{name: c.ModelName, freqs: c.GTRFreqs, rates: c.GTRRates}
+	if err := g.decompose(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BuildRates reconstructs the rate categories bit-exactly.
+func (c *Checkpoint) BuildRates() RateCategories {
+	return RateCategories{Rates: append([]float64(nil), c.Rates...)}
+}
+
+// BuildTree materializes the checkpointed topology as a fresh Tree.
+func (c *Checkpoint) BuildTree() (*Tree, error) {
+	return buildTreeFrom(c.Taxa, &c.Topo)
+}
+
+// buildTreeFrom grows a node skeleton matching the snapshot's ID layout (tips
+// first, then binary internal nodes) and restores the snapshot into it.
+func buildTreeFrom(taxa []string, topo *TreeSnapshot) (*Tree, error) {
+	n := len(taxa)
+	total := len(topo.parent)
+	if n < 3 || total != 2*n-1 {
+		return nil, fmt.Errorf("phylo: snapshot has %d nodes for %d taxa, want %d", total, n, 2*n-1)
+	}
+	t := &Tree{Taxa: append([]string(nil), taxa...)}
+	t.Nodes = make([]*Node, 0, total)
+	for i, name := range taxa {
+		t.Nodes = append(t.Nodes, &Node{ID: i, Name: name, Taxon: i})
+	}
+	for i := n; i < total; i++ {
+		t.Nodes = append(t.Nodes, &Node{ID: i, Taxon: -1, Children: make([]*Node, 2)})
+	}
+	if topo.root < 0 || int(topo.root) >= total {
+		return nil, fmt.Errorf("phylo: snapshot root %d out of range", topo.root)
+	}
+	if err := topo.Restore(t); err != nil {
+		return nil, err
+	}
+	return t, t.Validate()
+}
+
+// --- binary codec ---------------------------------------------------------
+
+// appendUvarint appends v in unsigned LEB128.
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendF64 appends the raw IEEE-754 bits little-endian — the codec never
+// formats floats, so every value round-trips bit-exactly.
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendSnapshot encodes a TreeSnapshot: node count, parents and child slots
+// biased by +1 so -1 ("none") encodes as 0, then branch-length bits and root.
+func appendSnapshot(dst []byte, s *TreeSnapshot) []byte {
+	dst = appendUvarint(dst, uint64(len(s.parent)))
+	for _, p := range s.parent {
+		dst = appendUvarint(dst, uint64(p+1))
+	}
+	for _, ch := range s.child {
+		dst = appendUvarint(dst, uint64(ch+1))
+	}
+	for _, l := range s.length {
+		dst = appendF64(dst, l)
+	}
+	return appendUvarint(dst, uint64(s.root))
+}
+
+// AppendBinary appends the checkpoint's encoded form to dst and returns the
+// extended slice. The layout is magic, version, body, crc32c(version+body).
+// Encoding allocates nothing beyond growing dst, so a caller that reuses its
+// buffer emits checkpoints allocation-free.
+func (c *Checkpoint) AppendBinary(dst []byte) []byte {
+	dst = append(dst, checkpointMagic[:]...)
+	body := len(dst)
+	dst = appendUvarint(dst, CheckpointVersion)
+	dst = appendUvarint(dst, uint64(c.Round))
+	dst = appendUvarint(dst, uint64(c.NNIEvaluated))
+	dst = appendUvarint(dst, uint64(c.NNIAccepted))
+	dst = appendUvarint(dst, uint64(c.SpecScored))
+	dst = appendUvarint(dst, uint64(c.SpecWasted))
+	dst = appendF64(dst, c.StartLogLik)
+	dst = appendF64(dst, c.Best)
+	dst = appendBool(dst, c.SmoothConverged)
+	dst = appendBool(dst, c.LastSweepImproved)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Seed))
+	dst = appendBool(dst, c.SiteRepeats)
+	dst = appendBool(dst, c.ModelGTR)
+	dst = appendString(dst, c.ModelName)
+	for _, r := range c.GTRRates {
+		dst = appendF64(dst, r)
+	}
+	for _, f := range c.GTRFreqs {
+		dst = appendF64(dst, f)
+	}
+	dst = appendUvarint(dst, uint64(len(c.Rates)))
+	for _, r := range c.Rates {
+		dst = appendF64(dst, r)
+	}
+	dst = appendUvarint(dst, uint64(len(c.Taxa)))
+	for _, name := range c.Taxa {
+		dst = appendString(dst, name)
+	}
+	dst = appendSnapshot(dst, &c.Topo)
+	sum := crc32.Checksum(dst[body:], crcTable)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// decoder is a bounds-checked little-endian reader over an encoded record.
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("phylo: truncated varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.data) {
+		d.fail("phylo: truncated u64 at offset %d", d.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos >= len(d.data) {
+		d.fail("phylo: truncated bool at offset %d", d.pos)
+		return false
+	}
+	v := d.data[d.pos]
+	d.pos++
+	return v != 0
+}
+
+func (d *decoder) string(maxLen uint64) string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxLen || d.pos+int(n) > len(d.data) {
+		d.fail("phylo: string of %d bytes at offset %d exceeds record", n, d.pos)
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+// maxCheckpointNodes bounds decoded snapshot sizes so a corrupt length prefix
+// cannot provoke a huge allocation before the CRC is even checked.
+const maxCheckpointNodes = 1 << 22
+
+func (d *decoder) snapshot(s *TreeSnapshot) {
+	n := d.uvarint()
+	if d.err != nil {
+		return
+	}
+	if n < 3 || n > maxCheckpointNodes {
+		d.fail("phylo: snapshot node count %d out of range", n)
+		return
+	}
+	s.parent = make([]int32, n)
+	s.child = make([]int32, 2*n)
+	s.length = make([]float64, n)
+	for i := range s.parent {
+		v := d.uvarint()
+		if v > n {
+			d.fail("phylo: snapshot parent %d out of range", v)
+			return
+		}
+		s.parent[i] = int32(v) - 1
+	}
+	for i := range s.child {
+		v := d.uvarint()
+		if v > n {
+			d.fail("phylo: snapshot child %d out of range", v)
+			return
+		}
+		s.child[i] = int32(v) - 1
+	}
+	for i := range s.length {
+		s.length[i] = d.f64()
+	}
+	root := d.uvarint()
+	if d.err == nil && root >= n {
+		d.fail("phylo: snapshot root %d out of range", root)
+		return
+	}
+	s.root = int32(root)
+}
+
+// checkFrame validates magic and the trailing CRC, returning the body (after
+// the magic, before the CRC).
+func checkFrame(data, magic []byte, what string) ([]byte, error) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("phylo: %s record of %d bytes is too short", what, len(data))
+	}
+	if string(data[:len(magic)]) != string(magic) {
+		return nil, fmt.Errorf("phylo: bad %s magic", what)
+	}
+	body := data[len(magic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("phylo: %s checksum mismatch (corrupt record)", what)
+	}
+	return body, nil
+}
+
+// DecodeCheckpoint parses an encoded checkpoint, validating magic, version
+// and CRC. Unknown versions are rejected (see the versioning rule above).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	body, err := checkFrame(data, checkpointMagic[:], "checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{data: body}
+	if v := d.uvarint(); d.err == nil && v != CheckpointVersion {
+		return nil, fmt.Errorf("phylo: checkpoint version %d, this binary reads only %d", v, CheckpointVersion)
+	}
+	c := &Checkpoint{}
+	c.Round = int(d.uvarint())
+	c.NNIEvaluated = int(d.uvarint())
+	c.NNIAccepted = int(d.uvarint())
+	c.SpecScored = int(d.uvarint())
+	c.SpecWasted = int(d.uvarint())
+	c.StartLogLik = d.f64()
+	c.Best = d.f64()
+	c.SmoothConverged = d.bool()
+	c.LastSweepImproved = d.bool()
+	c.Seed = int64(d.u64())
+	c.SiteRepeats = d.bool()
+	c.ModelGTR = d.bool()
+	c.ModelName = d.string(1 << 10)
+	for i := range c.GTRRates {
+		c.GTRRates[i] = d.f64()
+	}
+	for i := range c.GTRFreqs {
+		c.GTRFreqs[i] = d.f64()
+	}
+	nRates := d.uvarint()
+	if d.err == nil && nRates > 1<<10 {
+		return nil, fmt.Errorf("phylo: checkpoint rate count %d out of range", nRates)
+	}
+	if d.err == nil {
+		c.Rates = make([]float64, nRates)
+		for i := range c.Rates {
+			c.Rates[i] = d.f64()
+		}
+	}
+	nTaxa := d.uvarint()
+	if d.err == nil && nTaxa > maxCheckpointNodes {
+		return nil, fmt.Errorf("phylo: checkpoint taxon count %d out of range", nTaxa)
+	}
+	if d.err == nil {
+		c.Taxa = make([]string, nTaxa)
+		for i := range c.Taxa {
+			c.Taxa[i] = d.string(1 << 16)
+		}
+	}
+	d.snapshot(&c.Topo)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(body) {
+		return nil, fmt.Errorf("phylo: %d trailing bytes after checkpoint", len(body)-d.pos)
+	}
+	return c, nil
+}
+
+// --- standalone tree codec ------------------------------------------------
+
+// AppendTreeBinary appends a bit-exact encoding of the tree (taxa, topology,
+// branch-length bits) to dst — the representation the job store uses for
+// completed-task results, where Newick's fixed-precision formatting would
+// break byte-identical recovery.
+func AppendTreeBinary(dst []byte, t *Tree) []byte {
+	var snap TreeSnapshot
+	t.CaptureTopologyInto(&snap)
+	dst = append(dst, treeMagic[:]...)
+	body := len(dst)
+	dst = appendUvarint(dst, CheckpointVersion)
+	dst = appendUvarint(dst, uint64(len(t.Taxa)))
+	for _, name := range t.Taxa {
+		dst = appendString(dst, name)
+	}
+	dst = appendSnapshot(dst, &snap)
+	sum := crc32.Checksum(dst[body:], crcTable)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// DecodeTreeBinary parses an AppendTreeBinary record back into a Tree with
+// the exact branch-length bits it was encoded from.
+func DecodeTreeBinary(data []byte) (*Tree, error) {
+	body, err := checkFrame(data, treeMagic[:], "tree")
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{data: body}
+	if v := d.uvarint(); d.err == nil && v != CheckpointVersion {
+		return nil, fmt.Errorf("phylo: tree record version %d, this binary reads only %d", v, CheckpointVersion)
+	}
+	nTaxa := d.uvarint()
+	if d.err == nil && nTaxa > maxCheckpointNodes {
+		return nil, fmt.Errorf("phylo: tree record taxon count %d out of range", nTaxa)
+	}
+	var taxa []string
+	if d.err == nil {
+		taxa = make([]string, nTaxa)
+		for i := range taxa {
+			taxa[i] = d.string(1 << 16)
+		}
+	}
+	var snap TreeSnapshot
+	d.snapshot(&snap)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(body) {
+		return nil, fmt.Errorf("phylo: %d trailing bytes after tree record", len(body)-d.pos)
+	}
+	return buildTreeFrom(taxa, &snap)
+}

@@ -142,4 +142,29 @@
 // Both SetParallel/SetParallelNode/SetParallelWidth apply through a staged
 // atomic swap at the next evaluation boundary, so they are safe to call from
 // any goroutine while a search runs.
+//
+// # Checkpointing
+//
+// A search is resumable at sweep boundaries (checkpoint.go). The contract:
+// SearchOptions.Checkpoint is called with an engine-owned *Checkpoint after
+// the starting tree is smoothed (the round-0 boundary) and after every NNI
+// sweep; the callback must serialize (AppendBinary, allocation-free into a
+// reused buffer) or copy before returning, and SearchOptions.Resume restarts
+// from a decoded checkpoint such that the completed search — every
+// likelihood bit, the final topology, all counters — is byte-identical to
+// the uninterrupted run. That identity holds because a checkpoint stores the
+// exact float64 bits of every branch length plus the full search-loop state,
+// while conditional vectors are recomputed from them (Refresh), which PR 5's
+// determinism property makes bit-exact. A checkpoint must Match the engine
+// it resumes on (alignment shape, model family and parameter bits, rate
+// categories, site-repeat setting); mismatches are rejected at Resume.
+//
+// The codec is versioned: the encoding starts with CheckpointVersion, and
+// DecodeCheckpoint rejects versions it does not know. The rule for changing
+// the format: any change to the encoded fields bumps CheckpointVersion, and
+// decoders never guess — an unknown version, a short buffer or a CRC
+// mismatch all fail decode, and callers (the job server) treat a failed
+// decode as "no checkpoint" and recompute from scratch rather than resume
+// from ambiguous state. Old-version checkpoints are thereby abandoned, not
+// misread: durability degrades to recomputation, never to wrong results.
 package phylo

@@ -198,6 +198,11 @@ type Engine struct {
 	valStack   []*Node
 	valSeen    []uint64
 	valGen     uint64
+
+	// ckpt is the reusable sweep-boundary checkpoint handed to
+	// SearchOptions.Checkpoint (checkpoint.go); its slices are refilled per
+	// emission so the hot-path emission allocates nothing.
+	ckpt Checkpoint
 }
 
 // NewEngine creates a likelihood engine for the alignment, model and rate

@@ -240,6 +240,10 @@ func (g *GTR) decompose() error {
 func (g *GTR) Name() string             { return g.name }
 func (g *GTR) Frequencies() Frequencies { return g.freqs }
 
+// ExchangeRates returns the six exchangeabilities (AC, AG, AT, CG, CT, GT)
+// the model was built from.
+func (g *GTR) ExchangeRates() [6]float64 { return g.rates }
+
 // Transition returns P(t) = V diag(exp(eigen*t)) V^-1.
 func (g *GTR) Transition(t float64) Matrix {
 	p, _, _ := g.transition(t, 0)

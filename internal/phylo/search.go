@@ -37,6 +37,22 @@ type SearchOptions struct {
 	// worker-group width. Ignored (serial) under FullRefresh, whose
 	// whole-tree candidate scoring is the explicit non-incremental baseline.
 	Speculation int
+	// Checkpoint, when non-nil, is invoked at every sweep boundary (once
+	// after the initial branch-length optimization, then after each completed
+	// sweep's consolidation smoothing) with the search's restartable state.
+	// The *Checkpoint is engine-owned and reused across emissions: encode it
+	// (AppendBinary) inside the callback if it must outlive the call. It runs
+	// on the search goroutine and must be cheap; the intended use is
+	// appending the encoded bytes to a write-ahead log.
+	Checkpoint func(*Checkpoint)
+	// Resume, when non-nil, restarts the search from the given sweep
+	// boundary instead of building and optimizing a starting tree: the
+	// checkpointed topology and branch lengths are restored bit-exactly, the
+	// conditional-likelihood vectors recomputed (Refresh), and the sweep loop
+	// continued at the recorded round — producing results byte-identical to
+	// the uninterrupted run. The checkpoint must Match the engine's
+	// alignment, model and rates.
+	Resume *Checkpoint
 }
 
 // nniRadius is the neighborhood re-optimized around a rearranged edge when
@@ -108,8 +124,17 @@ func (e *Engine) Search(opts SearchOptions) (*SearchResult, error) {
 // worker back after at most one branch-optimization pass rather than after
 // the full search.
 func (e *Engine) SearchContext(ctx context.Context, opts SearchOptions) (*SearchResult, error) {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	tree, err := NewRandomTree(e.Data.Names, rng)
+	var tree *Tree
+	var err error
+	if opts.Resume != nil {
+		// The checkpointed topology replaces the randomized starting tree:
+		// the search RNG was fully consumed building it before the
+		// checkpoint, so nothing else needs the generator.
+		tree, err = opts.Resume.BuildTree()
+	} else {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		tree, err = NewRandomTree(e.Data.Names, rng)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -260,9 +285,47 @@ func (e *Engine) SearchInto(ctx context.Context, tree *Tree, opts SearchOptions,
 	// a *converged* full smoothing pass (as opposed to one stopped at the
 	// SmoothingRounds cap while still improving); rejected candidates are
 	// restored byte-exactly, so only accepted moves and the smoothing calls
-	// themselves change it.
-	best, smoothConverged := e.optimizeAllBranches(tree, opts.SmoothingRounds)
-	res.StartLogLik = best
+	// themselves change it. cont carries the loop-continue decision across
+	// sweep boundaries so a resumed search re-enters (or skips) the loop
+	// exactly where the uninterrupted run would.
+	var best float64
+	var smoothConverged bool
+	lastSweepImproved := false
+	cont := true
+	startRound := 0
+	if c := opts.Resume; c != nil {
+		// Resume at a checkpointed sweep boundary: restore the exact
+		// topology and branch-length bits, recompute the conditional vectors
+		// from them (Refresh; byte-identical to the incrementally maintained
+		// state the uninterrupted run holds here), and re-enter the loop at
+		// the recorded round. The initial branch optimization is NOT re-run:
+		// its effect is part of the restored state.
+		if err := c.Matches(e); err != nil {
+			return err
+		}
+		if e.repOn != c.SiteRepeats {
+			e.SetSiteRepeats(c.SiteRepeats)
+		}
+		if err := c.Topo.Restore(tree); err != nil {
+			return fmt.Errorf("phylo: resume: %v", err)
+		}
+		e.Refresh(tree)
+		res.Rounds = c.Round
+		res.NNIEvaluated = c.NNIEvaluated
+		res.NNIAccepted = c.NNIAccepted
+		res.StartLogLik = c.StartLogLik
+		best = c.Best
+		smoothConverged = c.SmoothConverged
+		lastSweepImproved = c.LastSweepImproved
+		// A round-0 checkpoint precedes the first sweep; later boundaries
+		// continue only if the recorded sweep improved, mirroring the
+		// uninterrupted run's break.
+		cont = c.Round == 0 || c.LastSweepImproved
+		startRound = c.Round
+	} else {
+		best, smoothConverged = e.optimizeAllBranches(tree, opts.SmoothingRounds)
+		res.StartLogLik = best
+	}
 	reportProgress(&opts, res, best)
 
 	// Window-parallel candidate scoring (replica.go): active only in the
@@ -272,10 +335,19 @@ func (e *Engine) SearchInto(ctx context.Context, tree *Tree, opts SearchOptions,
 	if opts.Speculation > 1 && !opts.FullRefresh {
 		pool = e.ensureSpecPool(opts.Speculation-1, tree)
 		pool.scored, pool.wasted = 0, 0
+		if c := opts.Resume; c != nil {
+			pool.scored, pool.wasted = c.SpecScored, c.SpecWasted
+		}
 	}
 
-	lastSweepImproved := false
-	for round := 0; round < opts.MaxRounds; round++ {
+	if opts.Resume == nil {
+		// The round-0 boundary: starting tree built and smoothed, no sweep
+		// yet. Persisting it means a crash during the first sweep resumes
+		// from here instead of re-deriving the starting tree.
+		e.emitCheckpoint(&opts, res, tree, best, smoothConverged, false, pool)
+	}
+
+	for round := startRound; cont && round < opts.MaxRounds; round++ {
 		res.Rounds++
 		e.movesBuf = tree.AppendNNIMoves(e.movesBuf[:0])
 		var improvedThisRound bool
@@ -298,9 +370,8 @@ func (e *Engine) SearchInto(ctx context.Context, tree *Tree, opts SearchOptions,
 		}
 		reportProgress(&opts, res, best)
 		lastSweepImproved = improvedThisRound
-		if !improvedThisRound {
-			break
-		}
+		cont = improvedThisRound
+		e.emitCheckpoint(&opts, res, tree, best, smoothConverged, improvedThisRound, pool)
 	}
 	// Final thorough smoothing — skipped in the incremental mode only when
 	// it would be a deterministic repeat: the tree sits in the state of a

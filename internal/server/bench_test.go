@@ -1,0 +1,11 @@
+package server
+
+// BenchmarkWALAppend is a thin wrapper over WALAppendBench, the shared loop
+// body cmd/benchreport also times — see walbench.go for why the fixture is
+// exported from the package instead of living in internal/benchfix.
+
+import "testing"
+
+func BenchmarkWALAppend(b *testing.B) {
+	WALAppendBench(b.TempDir())(b)
+}

@@ -93,9 +93,24 @@ func (l *EventLog) Snapshot() []Event {
 // when the returned cancel function runs; cancel is idempotent and must be
 // called to release the subscription.
 func (l *EventLog) Subscribe() (replay []Event, live <-chan Event, cancel func()) {
+	return l.SubscribeFrom(0)
+}
+
+// SubscribeFrom is Subscribe with the replay starting after sequence number
+// afterSeq — the contract behind the SSE Last-Event-ID header: a reconnecting
+// client passes the last id it saw and receives only what it missed. Seqs are
+// 1-based and dense, so afterSeq 0 replays everything and an afterSeq at or
+// past the tail replays nothing.
+func (l *EventLog) SubscribeFrom(afterSeq int) (replay []Event, live <-chan Event, cancel func()) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	replay = append([]Event(nil), l.events...)
+	if afterSeq < 0 {
+		afterSeq = 0
+	}
+	if afterSeq > len(l.events) {
+		afterSeq = len(l.events)
+	}
+	replay = append([]Event(nil), l.events[afterSeq:]...)
 	ch := make(chan Event, subscriberBuffer)
 	if l.closed {
 		close(ch)

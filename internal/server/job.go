@@ -244,6 +244,13 @@ type Job struct {
 	flightID     uint64
 	flightQueued flight.Time
 
+	// Recovery state, set only on jobs rebuilt from the WAL: attempts counts
+	// prior incarnations, skipTasks holds completed-task outcomes to replay,
+	// and resumes holds the latest encoded checkpoint per unfinished task.
+	attempts  int
+	skipTasks map[taskKey]storedTask
+	resumes   map[taskKey][]byte
+
 	mu        sync.Mutex
 	state     State
 	submitted time.Time

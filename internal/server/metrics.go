@@ -49,6 +49,26 @@ type MetricsSnapshot struct {
 	// Prometheus /metrics endpoint, so the two surfaces agree by
 	// construction (see histogramNames for the key↔metric mapping).
 	Latencies map[string]LatencySummary `json:"latencies"`
+	// Durability reports the write-ahead job log's health and what the last
+	// startup recovered; nil when the server runs without a data dir.
+	Durability *DurabilityMetrics `json:"durability,omitempty"`
+}
+
+// DurabilityMetrics is the WAL/recovery section of /v1/metrics.
+type DurabilityMetrics struct {
+	DataDir string `json:"data_dir"`
+	// Draining is true once SIGTERM (or Drain) stopped admission.
+	Draining bool `json:"draining"`
+	// Degraded is true when a WAL write or fsync failed and the server fell
+	// back to in-memory operation: jobs still run, durability is suspended.
+	Degraded  bool  `json:"degraded"`
+	WALErrors int64 `json:"wal_errors"`
+	// Recovered* count what the last startup replay found: jobs re-enqueued
+	// or restored, completed tasks replayed, and checkpoints available for
+	// resume.
+	RecoveredJobs        int64 `json:"recovered_jobs"`
+	RecoveredTasks       int64 `json:"recovered_tasks"`
+	RecoveredCheckpoints int64 `json:"recovered_checkpoints"`
 }
 
 // metricsRegistry owns the per-tenant counters and mirrors every admission

@@ -19,6 +19,10 @@ type promMetrics struct {
 	failed    *flight.CounterVec
 	cancelled *flight.CounterVec
 
+	walErrors         *flight.CounterVec
+	recoveredJobsVec  *flight.CounterVec
+	recoveredTasksVec *flight.CounterVec
+
 	jobQueueWait *stats.Histogram
 	jobRun       *stats.Histogram
 	offloadWait  *stats.Histogram
@@ -44,6 +48,12 @@ func newPromMetrics(s *Server) *promMetrics {
 		completed: reg.NewCounterVec("cellmg_jobs_completed_total", "Jobs finished successfully.", "tenant"),
 		failed:    reg.NewCounterVec("cellmg_jobs_failed_total", "Jobs finished in error.", "tenant"),
 		cancelled: reg.NewCounterVec("cellmg_jobs_cancelled_total", "Jobs cancelled before completion.", "tenant"),
+		walErrors: reg.NewCounterVec("cellmg_wal_errors_total",
+			"WAL write/fsync failures; any increment means durability is degraded.", "op"),
+		recoveredJobsVec: reg.NewCounterVec("cellmg_recovered_jobs_total",
+			"Jobs replayed from the WAL at startup, by outcome (requeued, terminal, failed).", "outcome"),
+		recoveredTasksVec: reg.NewCounterVec("cellmg_recovered_tasks_total",
+			"Per-task state replayed from the WAL at startup, by kind (done, checkpoint).", "kind"),
 	}
 	p.jobQueueWait = reg.NewHistogram(histogramNames["job_queue_wait"],
 		"Admission queue wait per finished job.", stats.DefaultLatencyBuckets())
@@ -54,6 +64,20 @@ func newPromMetrics(s *Server) *promMetrics {
 	p.offloadRun = reg.NewHistogram(histogramNames["offload_run"],
 		"Kernel (task body) run time per off-loaded task.", stats.DefaultLatencyBuckets())
 
+	reg.NewGaugeFunc("cellmg_draining", "1 while the server is draining (refusing new jobs).",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("cellmg_wal_degraded", "1 when the WAL hit an error and durability is suspended.",
+		func() float64 {
+			if s.store != nil && s.store.wal.isDegraded() {
+				return 1
+			}
+			return 0
+		})
 	reg.NewGaugeFunc("cellmg_queue_depth", "Jobs waiting for admission.",
 		func() float64 { return float64(s.queue.Len()) })
 	reg.NewGaugeFunc("cellmg_queue_capacity", "Admission queue capacity.",

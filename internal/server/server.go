@@ -34,12 +34,15 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cellmg/internal/faultinject"
 	"cellmg/internal/flight"
 	"cellmg/internal/native"
+	"cellmg/internal/phylo"
 	"cellmg/internal/stats"
 )
 
@@ -78,6 +81,28 @@ type Options struct {
 	Flight bool
 	// FlightLaneEvents overrides the per-lane ring capacity (default 4096).
 	FlightLaneEvents int
+
+	// DataDir, when set, enables the write-ahead job store: accepted jobs,
+	// per-task completions and search checkpoints are logged there, and Open
+	// replays the log on startup — re-enqueueing incomplete jobs so they
+	// resume (byte-identically) from their recorded position. Empty keeps
+	// the pre-durability in-memory behaviour.
+	DataDir string
+	// MaxJobAttempts bounds how many times a recovered job may be restarted
+	// after crashing mid-run (default 3); past it the job fails terminally,
+	// so a poison job cannot crash-loop the server.
+	MaxJobAttempts int
+	// RetryBackoff is the base of the exponential re-admission delay for
+	// crashed jobs (default 500ms): attempt n waits base<<(n-1), capped at
+	// 30s.
+	RetryBackoff time.Duration
+	// WALSyncInterval overrides the group-commit fsync pacing (default 2ms).
+	WALSyncInterval time.Duration
+	// WALSegmentBytes overrides the segment rotation threshold (default 8MiB).
+	WALSegmentBytes int64
+	// FaultInjector arms deterministic WAL faults — crash-recovery tests
+	// only; leave nil in production.
+	FaultInjector *faultinject.Injector
 }
 
 func (o *Options) withDefaults() Options {
@@ -108,6 +133,12 @@ func (o *Options) withDefaults() Options {
 	if out.MaxFinishedJobs <= 0 {
 		out.MaxFinishedJobs = 1024
 	}
+	if out.MaxJobAttempts <= 0 {
+		out.MaxJobAttempts = 3
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = 500 * time.Millisecond
+	}
 	return out
 }
 
@@ -119,12 +150,25 @@ type Server struct {
 	metrics *metricsRegistry
 	prom    *promMetrics
 	flight  *flight.Recorder
+	store   *jobStore // nil without Options.DataDir
 	mux     *http.ServeMux
 
 	baseCtx    context.Context
-	baseCancel context.CancelFunc
+	baseCancel context.CancelCauseFunc
 	wg         sync.WaitGroup
 	running    atomic.Int32
+
+	// draining gates admission during SIGTERM drain; drainRetryAfter is the
+	// Retry-After hint (seconds) handed to rejected clients.
+	draining        atomic.Bool
+	drainRetryAfter atomic.Int64
+
+	// Durability counters mirrored into /v1/metrics (the Prometheus side
+	// lives in promMetrics).
+	walErrors      atomic.Int64
+	recoveredJobs  atomic.Int64
+	recoveredTasks atomic.Int64
+	recoveredCkpts atomic.Int64
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -135,9 +179,29 @@ type Server struct {
 	closeOnce sync.Once
 }
 
+// errDrainAbort is the cancellation cause drain uses to stop still-running
+// jobs once the timeout expires. A job aborted with it is deliberately left
+// incomplete — in memory AND in the WAL — so the next incarnation resumes it
+// from its latest checkpoint instead of marking it cancelled.
+var errDrainAbort = errors.New("server draining")
+
 // New creates a server, its shared runtime, and MaxConcurrent admission
-// runners. Close must be called to release them.
+// runners. Close must be called to release them. New panics if a job store
+// is requested (Options.DataDir) and fails to open; durable servers should
+// prefer Open, which reports the error.
 func New(opts Options) *Server {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open is New with the job-store error surfaced: when Options.DataDir is
+// set it opens (or creates) the write-ahead job store, replays it, restores
+// terminal jobs into the queryable table and re-enqueues incomplete ones to
+// resume from their latest checkpoints.
+func Open(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	var rec *flight.Recorder
 	if opts.Flight {
@@ -159,7 +223,25 @@ func New(opts Options) *Server {
 	// built after the runtime and queue exist; the tenant registry feeds it.
 	s.prom = newPromMetrics(s)
 	s.metrics = newMetricsRegistry(s.prom)
-	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	if opts.DataDir != "" {
+		st, recovered, err := openJobStore(walOptions{
+			dir:             opts.DataDir,
+			segmentMaxBytes: opts.WALSegmentBytes,
+			syncInterval:    opts.WALSyncInterval,
+			inj:             opts.FaultInjector,
+			onError: func(op string) {
+				s.walErrors.Add(1)
+				s.prom.walErrors.With(op).Inc()
+			},
+		})
+		if err != nil {
+			s.rt.Close()
+			return nil, err
+		}
+		s.store = st
+		s.recoverJobs(recovered)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -175,7 +257,147 @@ func New(opts Options) *Server {
 		s.wg.Add(1)
 		go s.runner()
 	}
-	return s
+	return s, nil
+}
+
+// recoverJobs rebuilds the job table from the replayed store: terminal jobs
+// become queryable history, incomplete ones are re-enqueued carrying their
+// completed-task outcomes and latest checkpoints so runJob skips and resumes
+// instead of recomputing.
+func (s *Server) recoverJobs(recovered map[string]*recoveredJob) {
+	for _, r := range sortedRecoveredJobs(recovered) {
+		// Keep the id counter ahead of every recovered id, whatever mix of
+		// incarnations produced them.
+		var n int64
+		if _, err := fmt.Sscanf(r.id, "j-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		if !r.incomplete() {
+			s.restoreTerminal(r, r.state, r.errMsg, r.result)
+			continue
+		}
+		s.recoveredJobs.Add(1)
+		if r.attempts >= s.opts.MaxJobAttempts {
+			// Poison job: it has crashed the server MaxJobAttempts times.
+			msg := fmt.Sprintf("job crashed the server %d times; giving up", r.attempts)
+			s.store.jobFinished(r.id, StateFailed, msg, nil)
+			s.restoreTerminal(r, StateFailed, msg, nil)
+			s.prom.recoveredJobsVec.With("failed").Inc()
+			continue
+		}
+		data, err := r.spec.buildAlignment() // validated when first accepted
+		if err != nil {
+			s.store.jobFinished(r.id, StateFailed, err.Error(), nil)
+			s.restoreTerminal(r, StateFailed, err.Error(), nil)
+			s.prom.recoveredJobsVec.With("failed").Inc()
+			continue
+		}
+		tenant := r.spec.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		prio, _ := ParsePriority(r.spec.Priority)
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j := &Job{
+			ID:        r.id,
+			Tenant:    tenant,
+			Priority:  prio,
+			Spec:      r.spec,
+			data:      data,
+			events:    NewEventLog(),
+			collector: &stats.OffloadCollector{},
+			cancel:    cancel,
+			done:      make(chan struct{}),
+			state:     StateQueued,
+			submitted: time.Now(),
+			total:     r.spec.tasks(),
+			attempts:  r.attempts,
+			skipTasks: r.tasks,
+			resumes:   r.ckpts,
+		}
+		j.runCtx = ctx
+		s.recoveredTasks.Add(int64(len(r.tasks)))
+		s.recoveredCkpts.Add(int64(len(r.ckpts)))
+		for range r.tasks {
+			s.prom.recoveredTasksVec.With("done").Inc()
+		}
+		for range r.ckpts {
+			s.prom.recoveredTasksVec.With("checkpoint").Inc()
+		}
+		s.jobs[r.id] = j
+		s.metrics.jobSubmitted(tenant)
+		j.events.Append(EventQueued, map[string]any{
+			"tenant":    tenant,
+			"priority":  prio.String(),
+			"tasks":     j.total,
+			"recovered": true,
+			"attempt":   r.attempts + 1,
+		})
+		s.prom.recoveredJobsVec.With("requeued").Inc()
+		s.enqueueRecovered(j)
+	}
+}
+
+// enqueueRecovered pushes a recovered job, delaying re-admission by the
+// exponential crash backoff when it has prior attempts (a poison job then
+// burns its bounded attempts slowly instead of hot-looping the runners).
+func (s *Server) enqueueRecovered(j *Job) {
+	push := func() {
+		if err := s.queue.Push(j); err != nil {
+			if s.finishJob(j, StateFailed, nil, "recovery re-admission failed: "+err.Error()) {
+				s.flight.Span(s.flight.JobLane(), flight.KindJobQueued, j.flightID, j.flightQueued, int64(j.Priority), 0)
+			}
+		}
+	}
+	backoff := time.Duration(0)
+	if j.attempts > 0 {
+		backoff = s.opts.RetryBackoff << (j.attempts - 1)
+		if max := 30 * time.Second; backoff > max {
+			backoff = max
+		}
+	}
+	if backoff <= 0 {
+		push()
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-time.After(backoff):
+			push()
+		case <-s.baseCtx.Done():
+		}
+	}()
+}
+
+// restoreTerminal rebuilds a finished job's queryable record from the log.
+func (s *Server) restoreTerminal(r *recoveredJob, state State, errMsg string, result *Result) {
+	j := &Job{
+		ID:       r.id,
+		Tenant:   r.spec.Tenant,
+		Priority: PriorityInteractive,
+		Spec:     r.spec,
+		events:   NewEventLog(),
+		// No live collector data survives a restart; the summary is empty.
+		collector: &stats.OffloadCollector{},
+		cancel:    func() {},
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+		total:     r.spec.tasks(),
+	}
+	if j.Tenant == "" {
+		j.Tenant = "default"
+	}
+	if p, err := ParsePriority(r.spec.Priority); err == nil {
+		j.Priority = p
+	}
+	j.runCtx = s.baseCtx
+	s.jobs[r.id] = j
+	j.finish(state, result, errMsg)
+	s.finished = append(s.finished, r.id)
+	s.prom.recoveredJobsVec.With("terminal").Inc()
 }
 
 // Handler returns the HTTP API.
@@ -189,22 +411,57 @@ func (s *Server) Runtime() *native.Runtime { return s.rt }
 func (s *Server) QueueLen() int { return s.queue.Len() }
 
 // Close stops admission, cancels queued and running jobs, waits for the
-// runners, and shuts the runtime down.
+// runners, flushes the job store, and shuts the runtime down. After a Drain,
+// still-queued jobs are NOT cancelled: they stay accepted-but-incomplete in
+// the WAL and the next incarnation re-enqueues them — the zero-lost-jobs
+// half of the drain contract.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
 		s.closed = true
 		s.mu.Unlock()
+		drained := s.draining.Load()
 		for _, j := range s.queue.Close() {
-			if j.finish(StateCancelled, nil, "server shutting down") {
-				s.retire(j)
+			if drained {
+				continue // preserved in the WAL for the next incarnation
 			}
+			s.finishJob(j, StateCancelled, nil, "server shutting down")
 		}
-		s.baseCancel() // aborts running jobs' searches
+		if drained {
+			s.baseCancel(errDrainAbort)
+		} else {
+			s.baseCancel(nil) // aborts running jobs' searches
+		}
 		s.wg.Wait()
+		if s.store != nil {
+			_ = s.store.Close()
+		}
 		s.rt.Close()
 	})
 }
+
+// Drain is the SIGTERM path: stop admitting (submissions get 503 with a
+// Retry-After), let queued and running jobs finish for up to timeout, then
+// abort whatever remains — their latest checkpoints are already in the WAL,
+// so the abort loses at most one sweep of work — flush the log and shut
+// down. On return every accepted job is either terminal or durably recorded
+// as incomplete for the next incarnation to resume.
+func (s *Server) Drain(timeout time.Duration) {
+	s.drainRetryAfter.Store(int64(timeout/time.Second) + 1)
+	s.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.queue.Len() == 0 && s.running.Load() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Close()
+}
+
+// Draining reports whether the server is refusing admissions pending
+// shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Submit validates and enqueues a job programmatically (the HTTP handler is a
 // thin wrapper). It returns the accepted job or an admission error. Every
@@ -224,9 +481,19 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return reject(http.StatusBadRequest, err.Error())
 	}
-	// Shed load before the expensive part of admission: a closing server or
-	// a full queue rejects without simulating/compressing an alignment. The
-	// capacity check here is advisory (Push re-checks authoritatively).
+	// Shed load before the expensive part of admission: a draining or
+	// closing server or a full queue rejects without simulating/compressing
+	// an alignment. The capacity check here is advisory (Push re-checks
+	// authoritatively).
+	if s.draining.Load() {
+		s.metrics.jobSubmitted(tenant)
+		s.metrics.jobRejected(tenant)
+		return nil, &admissionError{
+			code:       http.StatusServiceUnavailable,
+			msg:        "server is draining",
+			retryAfter: int(s.drainRetryAfter.Load()),
+		}
+	}
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
@@ -286,6 +553,15 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.mu.Unlock()
 
 	s.metrics.jobSubmitted(tenant)
+	// Durability point: the accepted record must be on disk before the job
+	// can produce any other record (a runner may pop it the instant Push
+	// returns) and before the 202 goes out — an acknowledged job that a
+	// crash forgets would violate the zero-lost-jobs contract. A degraded
+	// WAL (disk error) does not reject the job: the server continues
+	// in-memory-only and the error counter records the exposure.
+	if s.store != nil {
+		_ = s.store.jobAccepted(id, spec)
+	}
 	// The queued event goes in before Push: once the job is in the queue a
 	// runner may pop it immediately, and "started" must not precede
 	// "queued" in the stream.
@@ -300,6 +576,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		delete(s.jobs, id)
 		s.mu.Unlock()
 		cancel()
+		if s.store != nil {
+			// The accepted record is already durable; neutralize it so the
+			// next replay does not resurrect a job the client saw rejected.
+			s.store.jobCancelled(id)
+		}
 		code := http.StatusServiceUnavailable
 		if errors.Is(err, ErrQueueFull) {
 			code = http.StatusTooManyRequests
@@ -307,6 +588,24 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, &admissionError{code: code, msg: err.Error()}
 	}
 	return j, nil
+}
+
+// finishJob moves a job to a terminal state, mirrors the outcome into the
+// job store, and retires it — the single path every terminal transition
+// funnels through so the WAL can never miss one.
+func (s *Server) finishJob(j *Job, state State, result *Result, errMsg string) bool {
+	if !j.finish(state, result, errMsg) {
+		return false
+	}
+	if s.store != nil {
+		if state == StateCancelled {
+			s.store.jobCancelled(j.ID)
+		} else {
+			s.store.jobFinished(j.ID, state, errMsg, result)
+		}
+	}
+	s.retire(j)
+	return true
 }
 
 // retire accounts a job that just reached a terminal state: its tenant
@@ -342,12 +641,14 @@ func (s *Server) Cancel(id string) (j *Job, found, cancelled bool) {
 	}
 	if s.queue.Remove(j) {
 		// Still queued: it will never reach a runner, finish it here. Its
-		// queued span ends now and no job-run span will ever exist.
+		// queued span ends now and no job-run span will ever exist. This is
+		// also where a recovered-but-not-yet-resumed job gets cancelled, and
+		// finishJob records that in the WAL so the next replay does not
+		// resurrect it.
 		j.cancel()
-		if j.finish(StateCancelled, nil, "") {
+		if s.finishJob(j, StateCancelled, nil, "") {
 			s.flight.Span(s.flight.JobLane(), flight.KindJobQueued, j.flightID,
 				j.flightQueued, int64(j.Priority), 0)
-			s.retire(j)
 		}
 		return j, true, true
 	}
@@ -364,8 +665,21 @@ func (s *Server) Cancel(id string) (j *Job, found, cancelled bool) {
 // Metrics returns the server-wide snapshot.
 func (s *Server) Metrics() MetricsSnapshot {
 	rs := s.rt.Stats()
+	var durability *DurabilityMetrics
+	if s.store != nil {
+		durability = &DurabilityMetrics{
+			DataDir:              s.opts.DataDir,
+			Draining:             s.draining.Load(),
+			Degraded:             s.store.wal.isDegraded(),
+			WALErrors:            s.walErrors.Load(),
+			RecoveredJobs:        s.recoveredJobs.Load(),
+			RecoveredTasks:       s.recoveredTasks.Load(),
+			RecoveredCheckpoints: s.recoveredCkpts.Load(),
+		}
+	}
 	return MetricsSnapshot{
-		Tenants: s.metrics.snapshot(),
+		Durability: durability,
+		Tenants:    s.metrics.snapshot(),
 		Runtime: RuntimeMetrics{
 			Workers:         s.rt.Workers(),
 			Policy:          s.rt.Policy().String(),
@@ -410,12 +724,16 @@ func (s *Server) runJob(j *Job) {
 	runStart := s.flight.Now()
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	if s.store != nil {
+		s.store.jobStarted(j.ID, j.attempts+1)
+	}
 	j.events.Append(EventStarted, map[string]any{
 		"queue_wait_ms": float64(j.queueWait()) / float64(time.Millisecond),
+		"attempt":       j.attempts + 1,
 	})
 
 	finish := func(state State, result *Result, errMsg string) {
-		if !j.finish(state, result, errMsg) {
+		if !s.finishJob(j, state, result, errMsg) {
 			return
 		}
 		var outcome int64
@@ -427,7 +745,6 @@ func (s *Server) runJob(j *Job) {
 		}
 		s.flight.Span(s.flight.JobLane(), flight.KindJobRun, j.flightID,
 			runStart, int64(j.total), outcome)
-		s.retire(j)
 	}
 
 	opts, err := j.Spec.analysisOptions() // validated at submit; cannot fail here
@@ -440,11 +757,20 @@ func (s *Server) runJob(j *Job) {
 	// event stream; the flow id keys this job's spans in the shared trace.
 	opts.Sink = stats.TeeSink{j.collector, offloadSink{p: s.prom}}
 	opts.FlightID = j.flightID
+	if s.store != nil {
+		s.wireDurability(j, &opts)
+	}
 
 	res, err := native.RunAnalysisContext(j.runCtx, s.rt, j.data, opts)
 	switch {
 	case err == nil:
 		finish(StateDone, ResultFromAnalysis(res), "")
+	case errors.Is(err, errDrainAbort) ||
+		(errors.Is(err, context.Canceled) && errors.Is(context.Cause(j.runCtx), errDrainAbort)):
+		// Drain abort: deliberately NOT finished. The job stays incomplete
+		// in the WAL with its checkpoints and completed tasks intact; the
+		// next incarnation re-enqueues and resumes it.
+		return
 	case errors.Is(err, context.Canceled):
 		finish(StateCancelled, nil, "")
 	default:
@@ -452,12 +778,67 @@ func (s *Server) runJob(j *Job) {
 	}
 }
 
+// wireDurability attaches the job store to one run's analysis: completed
+// tasks and sweep-boundary checkpoints stream into the WAL as they happen,
+// and tasks the store already has are skipped or resumed.
+func (s *Server) wireDurability(j *Job, opts *native.AnalysisOptions) {
+	id := j.ID
+	opts.OnTaskDone = func(out native.TaskOutcome) {
+		// Exact float64 bits (phylo's binary tree codec, not Newick): the
+		// recovered run must reproduce the clean run byte for byte.
+		s.store.taskDone(id, out, phylo.AppendTreeBinary(nil, out.Tree))
+	}
+	// Each task's checkpoint encodes into its own reused buffer: emissions
+	// from different tasks are concurrent, but per task they are serial.
+	bufs := map[native.TaskID]*[]byte{}
+	var bufMu sync.Mutex
+	opts.Checkpoint = func(task native.TaskID, c *phylo.Checkpoint) {
+		bufMu.Lock()
+		buf := bufs[task]
+		if buf == nil {
+			buf = new([]byte)
+			bufs[task] = buf
+		}
+		bufMu.Unlock()
+		*buf = c.AppendBinary((*buf)[:0])
+		s.store.checkpoint(id, task, *buf)
+	}
+	if len(j.skipTasks) > 0 {
+		opts.SkipTask = func(task native.TaskID) (native.TaskOutcome, bool) {
+			done, ok := j.skipTasks[taskKey{bootstrap: task.Bootstrap, index: task.Index}]
+			if !ok {
+				return native.TaskOutcome{}, false
+			}
+			tree, err := phylo.DecodeTreeBinary(done.tree)
+			if err != nil {
+				return native.TaskOutcome{}, false // recompute instead
+			}
+			return native.TaskOutcome{Task: task, LogLik: done.logLik, Tree: tree}, true
+		}
+	}
+	if len(j.resumes) > 0 {
+		opts.ResumeSearch = func(task native.TaskID) *phylo.Checkpoint {
+			enc, ok := j.resumes[taskKey{bootstrap: task.Bootstrap, index: task.Index}]
+			if !ok {
+				return nil
+			}
+			c, err := phylo.DecodeCheckpoint(enc)
+			if err != nil {
+				return nil // corrupt checkpoint: restart the search
+			}
+			return c
+		}
+	}
+}
+
 // --- HTTP layer -----------------------------------------------------------
 
-// admissionError carries an HTTP status through Submit.
+// admissionError carries an HTTP status through Submit; retryAfter, when
+// positive, becomes a Retry-After header (seconds) on the rejection.
 type admissionError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int
 }
 
 func (e *admissionError) Error() string { return e.msg }
@@ -495,6 +876,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var ae *admissionError
 		if errors.As(err, &ae) {
+			if ae.retryAfter > 0 {
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", ae.retryAfter))
+			}
 			writeError(w, ae.code, ae.msg)
 			return
 		}
@@ -548,16 +932,20 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	if !cancelled && j.State() != StateCancelled {
+	if !cancelled {
+		// Any terminal job — done, failed, or already cancelled — conflicts:
+		// DELETE is not idempotent here because the job's outcome is settled.
 		writeError(w, http.StatusConflict, fmt.Sprintf("job is already %s", j.State()))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Status(time.Now()))
 }
 
-// handleEvents streams a job's progress as Server-Sent Events: the full
-// history first, then live events until the job reaches a terminal state or
-// the client disconnects.
+// handleEvents streams a job's progress as Server-Sent Events: the history
+// first, then live events until the job reaches a terminal state or the
+// client disconnects. A reconnecting client sends Last-Event-ID (standard SSE
+// resumption) and the replay starts after that sequence number instead of
+// from the beginning.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -569,12 +957,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "streaming unsupported")
 		return
 	}
+	afterSeq := 0
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		// An unparseable id falls back to a full replay — resumption is an
+		// optimization, never a reason to fail the stream.
+		if n, err := strconv.Atoi(lastID); err == nil && n > 0 {
+			afterSeq = n
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
-	replay, live, cancel := j.events.Subscribe()
+	replay, live, cancel := j.events.SubscribeFrom(afterSeq)
 	defer cancel()
 	for _, ev := range replay {
 		if writeSSE(w, ev) != nil {
